@@ -1,0 +1,46 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper figure/table: it runs the
+corresponding experiment (timed by pytest-benchmark), prints the same
+rows/series the paper plots, persists the rendered output under
+``benchmarks/output/``, and asserts the paper's qualitative shape.
+
+Scale: default is a reduced configuration that finishes in minutes;
+``REPRO_FULL_SCALE=1`` switches to the paper's full setup (1,000 cities,
+5,000 pairs, 0.5-degree relays, 96 snapshots) — expect hours.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture()
+def record_result():
+    """Persist an experiment's rendered output and echo it to stdout."""
+
+    def _record(result):
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        text = result.render()
+        path = OUTPUT_DIR / f"{result.experiment_id}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+        return result
+
+    return _record
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL_SCALE", "0") not in ("", "0", "false", "no")

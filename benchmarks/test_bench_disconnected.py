@@ -1,0 +1,27 @@
+"""Bench E6 — Section 5 text: satellites disconnected without ISLs.
+
+Prints the per-snapshot disconnected-satellite table. Shape assertions:
+a substantial fraction (paper: 25.1-31.5 % at full scale) of Starlink
+satellites sit outside the giant component under BP at every snapshot,
+while hybrid keeps every satellite attached.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_disconnected(benchmark, record_result, full_scale):
+    result = run_once(benchmark, get_experiment("disconnected"))
+    record_result(result)
+
+    bp = result.data["bp_fractions"]
+    hybrid = result.data["hybrid_fractions"]
+    assert np.all(hybrid == 0.0)
+    assert np.all(bp > 0.15)
+    assert np.all(bp < 0.60)
+    if full_scale:
+        # Paper: min 25.1 %, max 31.5 % over the day.
+        assert 0.15 < bp.min() < 0.40
+        assert 0.20 < bp.max() < 0.45

@@ -1,0 +1,103 @@
+"""Benchmarks for the extension experiments (Sections 2/3/6/7/8 quantified).
+
+Not paper figures, but each regenerates a quantitative version of a
+claim the paper makes in prose; shapes are asserted accordingly.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_ext_gso(benchmark, record_result):
+    """Section 7: GSO arc avoidance hits BP harder than hybrid."""
+    result = run_once(benchmark, get_experiment("ext-gso"))
+    record_result(result)
+    data = result.data
+    assert data["bp"]["median_inflation_ms"] >= data["hybrid"]["median_inflation_ms"]
+    assert data["bp"]["median_inflation_ms"] > 0.5  # Visible BP penalty.
+
+
+def test_bench_ext_fiber(benchmark, record_result):
+    """Section 8: fiber helps latency; SP routing can't harvest throughput."""
+    result = run_once(benchmark, get_experiment("ext-fiber"))
+    record_result(result)
+    latency = result.data["latency"]
+    for key, gain_ms in latency.items():
+        assert gain_ms >= -1e-6, key
+    for mode in ("hybrid", "bp"):
+        base = result.data[(mode, None)]
+        for radius in (200.0, 500.0):
+            assert result.data[(mode, radius)] >= 0.85 * base
+
+
+def test_bench_ext_maxflow(benchmark, record_result):
+    """Section 3: the lax max-flow model inflates and flattens."""
+    result = run_once(benchmark, get_experiment("ext-maxflow"))
+    record_result(result)
+    data = result.data
+    # Inflation: the lax bound dominates the routed number clearly.
+    assert data["bp"]["lax_gbps"] > 1.3 * data["bp"]["routed_gbps"]
+    # Flattening: the hybrid/BP gap shrinks under the lax model.
+    lax_ratio = data["hybrid"]["lax_gbps"] / data["bp"]["lax_gbps"]
+    routed_ratio = data["hybrid"]["routed_gbps"] / data["bp"]["routed_gbps"]
+    assert lax_ratio < routed_ratio
+
+
+def test_bench_ext_modcod(benchmark, record_result):
+    """Section 6 follow-through: weather shrinks BP capacity at least as
+    much as hybrid capacity."""
+    result = run_once(benchmark, get_experiment("ext-modcod"))
+    record_result(result)
+    data = result.data
+    assert 0.3 < data["bp"]["retained"] <= 1.0
+    assert 0.3 < data["hybrid"]["retained"] <= 1.0
+    assert data["bp"]["retained"] <= data["hybrid"]["retained"] + 0.02
+
+
+def test_bench_ext_dynamics(benchmark, record_result):
+    """Section 2: 'a few minutes' per satellite; Section 4: paths churn."""
+    result = run_once(benchmark, get_experiment("ext-dynamics"))
+    record_result(result)
+    data = result.data
+    analytic_min = data["analytic_max_pass_s"] / 60.0
+    assert 3.0 < analytic_min < 7.0
+    durations = np.asarray(data["pass_durations_s"])
+    assert durations.max() <= data["analytic_max_pass_s"] + 31.0
+    assert np.median(durations) > 120.0
+
+
+def test_bench_ext_terouting(benchmark, record_result):
+    """Section 5 conjecture: load-aware routing gains throughput, costs latency."""
+    result = run_once(benchmark, get_experiment("ext-terouting"))
+    record_result(result)
+    schemes = result.data["schemes"]
+    sp = schemes["shortest path (k=1)"]
+    te = schemes["load-aware (1 path)"]
+    assert te["gbps"] > 1.2 * sp["gbps"]
+    assert te["median_rtt_ms"] >= sp["median_rtt_ms"]
+    # With 4 paths each, load-aware dominates the paper's k=4 model too.
+    assert (
+        schemes["load-aware (4 paths)"]["gbps"]
+        >= 0.95 * schemes["edge-disjoint (k=4)"]["gbps"]
+    )
+
+
+def test_bench_ext_deployment(benchmark, record_result):
+    """Staged deployment: ISLs matter most while the shell is sparse."""
+    result = run_once(benchmark, get_experiment("ext-deployment"))
+    record_result(result)
+    data = result.data
+    stages = sorted(data)
+    sparse, full = stages[0], stages[-1]
+    ratio = lambda s: (
+        data[s]["hybrid"]["throughput_gbps"] / data[s]["bp"]["throughput_gbps"]
+    )
+    # Hybrid wins at every stage, by more when sparse.
+    for stage in stages:
+        assert ratio(stage) > 1.2
+    assert ratio(sparse) >= ratio(full) * 0.95
+    # Full deployment reaches everything the sparse one did.
+    for mode in ("bp", "hybrid"):
+        assert data[full][mode]["reachable"] >= data[sparse][mode]["reachable"] - 1e-9

@@ -1,0 +1,42 @@
+"""Bench E10 — Fig. 10: cross-shell BP transitions (Brisbane-Tokyo).
+
+Prints the per-snapshot single-shell vs two-shell RTT table with the
+shells each best path uses. Shape assertions: adding the polar shell
+(with BP-only transitions between shells) never hurts and strictly helps
+at some snapshots, with winning paths genuinely spanning both shells.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.scenario import ScenarioScale
+from repro.experiments import get_experiment
+
+
+def _bench_scale(full_scale: bool):
+    if full_scale:
+        return ScenarioScale.full()
+    return ScenarioScale(
+        name="fig10-bench",
+        num_cities=50,
+        num_pairs=10,
+        relay_spacing_deg=2.0,
+        num_snapshots=16,
+        snapshot_interval_s=2700.0,
+    )
+
+
+def test_bench_fig10_cross_shell(benchmark, record_result, full_scale):
+    result = run_once(
+        benchmark, get_experiment("fig10"), scale=_bench_scale(full_scale)
+    )
+    record_result(result)
+
+    single = result.data["single_rtt_ms"]
+    dual = result.data["dual_rtt_ms"]
+    finite = np.isfinite(single) & np.isfinite(dual)
+    assert finite.any()
+    # Two shells never worse (superset network)...
+    assert np.all(dual[finite] <= single[finite] + 1e-6)
+    # ...and the mechanism fires: some best paths span both shells.
+    assert result.headline["snapshots whose best path spans both shells"] > 0

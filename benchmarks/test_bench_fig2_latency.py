@@ -1,0 +1,34 @@
+"""Bench E1/E2 — Fig. 2(a)/(b): min RTT and RTT variation, BP vs hybrid.
+
+Prints both CDF tables and the Section 4 headline metrics. Shape
+assertions: hybrid min RTT never worse per pair; BP's variation
+distribution sits above hybrid's at the median; at full scale the paper
+additionally reports +80 % (median) and +422 % (p95) variation increases
+and a 57 ms max min-RTT gap.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_fig2_latency(benchmark, record_result, full_scale):
+    result = run_once(benchmark, get_experiment("fig2"))
+    record_result(result)
+
+    bp_min = result.data["bp_min_rtt_ms"]
+    hy_min = result.data["hybrid_min_rtt_ms"]
+    finite = np.isfinite(bp_min) & np.isfinite(hy_min)
+    assert finite.sum() > 0.9 * len(bp_min)
+    # Fig 2(a): the hybrid network is a superset, so per-pair min RTT
+    # can never be worse.
+    assert np.all(bp_min[finite] >= hy_min[finite] - 1e-6)
+    # There are pairs where BP pays a visible penalty.
+    assert np.max(bp_min[finite] - hy_min[finite]) > 5.0
+
+    # Fig 2(b): BP varies more at the median pair.
+    assert result.headline["median variation increase (%) [paper: +80]"] > 0
+    if full_scale:
+        # Tail behaviour needs the full pair population to be stable.
+        assert result.headline["p95 variation increase (%) [paper: +422]"] > 50

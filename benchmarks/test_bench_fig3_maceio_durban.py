@@ -1,0 +1,45 @@
+"""Bench E3 — Fig. 3: the Maceio-Durban path changes with aircraft.
+
+Prints the per-snapshot RTT and hop composition table. Shape assertions:
+BP's RTT range for the pair exceeds hybrid's, BP routes through aircraft
+relays, and (full scale) the inflation reaches tens of ms via
+North-Atlantic detours.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.scenario import ScenarioScale
+from repro.experiments import get_experiment
+
+
+def _bench_scale(full_scale: bool):
+    if full_scale:
+        return ScenarioScale.full()
+    # Fig. 3 needs a day-scale window to catch aircraft-availability
+    # swings; city/pair count does not matter (the pair is pinned).
+    return ScenarioScale(
+        name="fig3-bench",
+        num_cities=50,
+        num_pairs=10,
+        relay_spacing_deg=2.0,
+        num_snapshots=24,
+        snapshot_interval_s=3600.0,
+    )
+
+
+def test_bench_fig3_maceio_durban(benchmark, record_result, full_scale):
+    result = run_once(
+        benchmark, get_experiment("fig3"), scale=_bench_scale(full_scale)
+    )
+    record_result(result)
+
+    bp = result.data["bp_rtt_ms"]
+    hybrid = result.data["hybrid_rtt_ms"]
+    assert len(bp) > 0 and len(hybrid) > 0
+    bp_range = bp.max() - bp.min()
+    hybrid_range = hybrid.max() - hybrid.min()
+    # The paper's core claim for this pair: BP is far less stable.
+    assert bp_range > hybrid_range
+    # The South Atlantic crossing leans on aircraft relays.
+    assert result.headline["BP snapshots using aircraft relays"] > 0
+    if full_scale:
+        assert bp_range > 20.0  # Paper: inflation up to ~100 ms.

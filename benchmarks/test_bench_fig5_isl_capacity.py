@@ -1,0 +1,30 @@
+"""Bench E5 — Fig. 5: Starlink throughput vs ISL capacity (0.5x-5x).
+
+Prints the sweep table (plus the BP floor). Shape assertions: the sweep
+is monotone non-decreasing and saturates (small 3x -> 5x gain); the
+hybrid network beats BP from 1x capacity on (at full scale even at
+0.5x, the paper's 2.2x point).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_fig5_isl_capacity(benchmark, record_result, full_scale):
+    result = run_once(benchmark, get_experiment("fig5"))
+    record_result(result)
+
+    sweep = result.data["sweep_gbps"]
+    bp = result.data["bp_gbps"]
+    ratios = sorted(sweep)
+    values = [sweep[r] for r in ratios]
+    # Monotone non-decreasing in ISL capacity.
+    assert all(b >= a * (1 - 1e-9) for a, b in zip(values, values[1:]))
+    # Saturation: beyond 3x the k-shortest-path routing can't exploit
+    # much more ISL bandwidth (paper: no improvement beyond 3x).
+    assert sweep[5.0] < 1.35 * sweep[3.0]
+    # Hybrid wins clearly at paper capacity (5x of 20G = 100G ISLs).
+    assert sweep[5.0] > 1.5 * bp
+
+    if full_scale:
+        assert sweep[0.5] > 1.5 * bp  # Paper: 2.2x even at 0.5x.

@@ -1,0 +1,30 @@
+"""Bench E7 — Fig. 6: 99.5th-pct attenuation across city pairs.
+
+Prints the BP-vs-ISL attenuation CDF. Shape assertions: BP's worst-link
+attenuation distribution dominates the ISL one; the median gap is
+positive (paper: >1 dB at full scale).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_fig6_attenuation(benchmark, record_result, full_scale):
+    result = run_once(benchmark, get_experiment("fig6"))
+    record_result(result)
+
+    bp = result.data["bp_db"]
+    isl = result.data["isl_db"]
+    both = np.isfinite(bp) & np.isfinite(isl)
+    assert both.sum() > 0.8 * len(bp)
+    # Distribution dominance at the quartiles.
+    for pct in (25, 50, 75):
+        assert np.percentile(bp[both], pct) >= np.percentile(isl[both], pct)
+    # Median gap positive; the vast majority of pairs prefer ISL.
+    gap = float(np.median(bp[both]) - np.median(isl[both]))
+    assert gap > 0.2
+    assert np.mean(bp[both] >= isl[both] - 1e-9) > 0.7
+    if full_scale:
+        assert gap > 0.8  # Paper: >1 dB.

@@ -1,0 +1,25 @@
+"""Bench E8 — Fig. 7/8: the Delhi-Sydney attenuation case study.
+
+Prints the per-hop attenuation table for both paths at 1 % exceedance.
+Shape assertions: the BP path bounces through intermediate GTs in the
+tropics and its worst link attenuates more than the ISL path's worse
+endpoint hop (paper: ~5 dB vs ~2.2 dB).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_fig8_delhi_sydney(benchmark, record_result, full_scale):
+    result = run_once(benchmark, get_experiment("fig8"))
+    record_result(result)
+
+    bp_worst = result.data["bp_worst_db"]
+    isl_worst = result.data["isl_worst_db"]
+    assert bp_worst > isl_worst
+    # The BP path actually zig-zags (intermediate GT bounces).
+    assert result.data["bp_hops"] > result.data["isl_hops"]
+    assert result.headline["BP intermediate GT hops [paper: 2 aircraft + 4 GTs]"] >= 2
+    # Magnitudes in the paper's ballpark (dB-scale, not fractions).
+    assert 0.1 < isl_worst < 10.0
+    assert 0.5 < bp_worst < 20.0

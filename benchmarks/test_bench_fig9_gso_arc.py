@@ -1,0 +1,26 @@
+"""Bench E9 — Fig. 9: GSO arc-avoidance field-of-view reduction.
+
+Prints usable-sky fractions per GT latitude for Starlink (e>=40,
+22-degree separation) and Kuiper parameters. Shape assertions: the
+Equator is the most restricted latitude (the paper's "only satellites in
+the small shaded regions are reachable") and the restriction fades with
+latitude.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_fig9_gso_arc(benchmark, record_result):
+    result = run_once(benchmark, get_experiment("fig9"))
+    record_result(result)
+
+    by_lat = result.data["starlink_fraction_by_lat"]
+    # Equator worst; high latitude essentially unrestricted.
+    assert by_lat[0.0] == min(by_lat.values())
+    assert by_lat[0.0] < 0.6
+    assert by_lat[60.0] > 0.85
+    # Monotone recovery with latitude (allowing tiny numeric wiggle).
+    lats = sorted(by_lat)
+    values = [by_lat[lat] for lat in lats]
+    assert all(b >= a - 0.02 for a, b in zip(values, values[1:]))

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Weather risk assessment for tropical routes (Section 6 applied).
+
+A service planner asks: which long routes suffer most from rain fade,
+and how much does ISL connectivity protect them? This example scores
+several named intercontinental routes by worst-link attenuation at
+multiple exceedance levels, under BP and ISL routing, using the built-in
+ITU-style models and climatology.
+
+Run:  python examples/monsoon_outage_risk.py
+"""
+
+from dataclasses import replace
+
+from repro import ConnectivityMode, Scenario, ScenarioScale
+from repro.atmosphere.attenuation import (
+    attenuation_to_power_fraction,
+    worst_link_attenuation_db,
+)
+from repro.core.pipeline import pair_path_at
+from repro.reporting import format_table
+
+ROUTES = [
+    ("Delhi", "Sydney"),       # The paper's Fig. 7/8 case study.
+    ("Mumbai", "Jakarta"),     # Monsoon-to-monsoon.
+    ("Singapore", "Lagos"),    # Equatorial belt crossing.
+    ("London", "New York"),    # Temperate North Atlantic, for contrast.
+    ("Santiago", "Cape Town"), # Dry-latitude South Atlantic.
+]
+
+EXCEEDANCES = (1.0, 0.5, 0.1)
+
+
+def main() -> None:
+    names = sorted({name for route in ROUTES for name in route})
+    scale = ScenarioScale(
+        name="weather-risk",
+        num_cities=150,
+        num_pairs=10,
+        relay_spacing_deg=2.0,
+        num_snapshots=1,
+    )
+    scenario = replace(
+        Scenario.paper_default("starlink", scale), extra_city_names=tuple(names)
+    )
+    isl_scenario = replace(scenario, use_relays=False, use_aircraft=False)
+
+    rows = []
+    for city_a, city_b in ROUTES:
+        pair = scenario.city_pair(city_a, city_b)
+        bp_graph, bp_path = pair_path_at(
+            scenario, pair, 0.0, ConnectivityMode.BP_ONLY
+        )
+        isl_pair = isl_scenario.city_pair(city_a, city_b)
+        isl_graph, isl_path = pair_path_at(
+            isl_scenario, isl_pair, 0.0, ConnectivityMode.ISL_ONLY
+        )
+        row = [f"{city_a}-{city_b}"]
+        for pct in EXCEEDANCES:
+            bp_db = (
+                worst_link_attenuation_db(bp_graph, bp_path.nodes, pct)
+                if bp_path
+                else float("nan")
+            )
+            isl_db = (
+                worst_link_attenuation_db(
+                    isl_graph, isl_path.nodes, pct, endpoints_only=True
+                )
+                if isl_path
+                else float("nan")
+            )
+            row.append(f"{bp_db:.1f} / {isl_db:.1f}")
+        if bp_path and isl_path:
+            bp_power = float(attenuation_to_power_fraction(
+                worst_link_attenuation_db(bp_graph, bp_path.nodes, 1.0)
+            ))
+            isl_power = float(attenuation_to_power_fraction(
+                worst_link_attenuation_db(
+                    isl_graph, isl_path.nodes, 1.0, endpoints_only=True
+                )
+            ))
+            row.append(f"+{100 * (isl_power - bp_power) / bp_power:.0f}%")
+        else:
+            row.append("-")
+        rows.append(row)
+
+    print(
+        format_table(
+            ["route"]
+            + [f"BP/ISL dB @{p}%" for p in EXCEEDANCES]
+            + ["ISL power gain @1%"],
+            rows,
+            title="Worst-link attenuation by route (BP path vs ISL path)",
+        )
+    )
+    print()
+    print(
+        "Reading: tropical routes pay several dB under BP because their"
+        " intermediate hops\nsit in high-rain regions; ISL paths only expose"
+        " the endpoints (paper Fig. 8: 5 dB vs 2.2 dB)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""What a user terminal in a given city actually experiences.
+
+Ties together the user-facing mechanics the paper's Section 2 describes:
+how many satellites the terminal can see, how long each one stays
+usable, how often the terminal hands over under different tracking
+policies, and what the clear-sky/weather link budget delivers.
+
+Run:  python examples/terminal_experience.py [city]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.atmosphere import total_attenuation_db
+from repro.constants import slant_range_m
+from repro.ground.cities import city_by_name
+from repro.network.dynamics import (
+    empirical_pass_durations_s,
+    gt_handover_stats,
+    max_pass_duration_s,
+)
+from repro.network.linkbudget import DEFAULT_DOWNLINK_BUDGET
+from repro.orbits.coverage import visible_satellite_counts
+from repro.orbits.presets import starlink, starlink_shell
+from repro.reporting import format_summary, format_table, sparkline
+
+
+def main(city_name: str = "London") -> None:
+    city = city_by_name(city_name)
+    shell = starlink_shell()
+    constellation = starlink()
+
+    # Visibility over two hours.
+    times = np.arange(0.0, 7200.0, 300.0)
+    counts = [
+        int(visible_satellite_counts(constellation, [city.lat_deg], [city.lon_deg], t)[0])
+        for t in times
+    ]
+    passes = empirical_pass_durations_s(
+        shell, city.lat_deg, city.lon_deg, duration_s=7200.0, step_s=15.0
+    )
+    sticky = gt_handover_stats(
+        shell, city.lat_deg, city.lon_deg, 7200.0, 15.0, "sticky"
+    )
+    greedy = gt_handover_stats(
+        shell, city.lat_deg, city.lon_deg, 7200.0, 15.0, "max_elevation"
+    )
+
+    print(
+        format_summary(
+            f"Terminal at {city.name} ({city.lat_deg:.2f}, {city.lon_deg:.2f})",
+            {
+                "satellites in view (2h trend)": sparkline(counts),
+                "min / mean / max in view": (
+                    f"{min(counts)} / {np.mean(counts):.1f} / {max(counts)}"
+                ),
+                "analytic max pass (min)": f"{max_pass_duration_s(shell) / 60:.1f}",
+                "observed median pass (min)": f"{np.median(passes) / 60:.1f}"
+                if len(passes)
+                else "n/a",
+            },
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["tracking policy", "handovers/hour", "mean dwell (s)"],
+            [
+                ["sticky (hold until loss)", f"{sticky['handovers_per_hour']:.0f}",
+                 f"{sticky['mean_dwell_s']:.0f}"],
+                ["max-elevation (always best)", f"{greedy['handovers_per_hour']:.0f}",
+                 f"{greedy['mean_dwell_s']:.0f}"],
+            ],
+            title="Handover behaviour (paper: 'reachable for a few minutes')",
+        )
+    )
+
+    # Link budget across the elevation range, clear vs stormy.
+    rows = []
+    for elevation in (25.0, 40.0, 60.0, 90.0):
+        distance = slant_range_m(550e3, elevation)
+        attenuation = float(
+            total_attenuation_db(city.lat_deg, city.lon_deg, elevation, 11.7, 0.5)
+        )
+        clear = float(DEFAULT_DOWNLINK_BUDGET.capacity_bps(distance)) / 1e9
+        stormy = float(
+            DEFAULT_DOWNLINK_BUDGET.capacity_bps(distance, attenuation)
+        ) / 1e9
+        rows.append(
+            [
+                f"{elevation:.0f}",
+                f"{distance / 1000:.0f}",
+                f"{clear:.2f}",
+                f"{attenuation:.2f}",
+                f"{stormy:.2f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["elevation", "slant range (km)", "clear Gbps/channel",
+             "99.5% weather (dB)", "weather Gbps/channel"],
+            rows,
+            title="Down-link budget per 240 MHz channel (DVB-S2X ladder)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "London")

@@ -1,0 +1,71 @@
+"""Gaseous absorption (simplified ITU-R P.676 Annex-2 style model).
+
+Oxygen and water-vapour specific attenuations at the surface, converted
+to a slant path through equivalent-height scaling. The formulas are the
+sub-54-GHz simplified fits (curve shapes around the 22.235 GHz water
+line and the 60 GHz oxygen complex) at standard pressure; precise
+P.676-13 line-by-line summation is unnecessary at Ku/Ka band, where
+gaseous absorption is a fraction of a dB.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.atmosphere.climate import water_vapour_density_gm3
+
+__all__ = [
+    "oxygen_specific_attenuation_dbkm",
+    "water_vapour_specific_attenuation_dbkm",
+    "gaseous_attenuation_db",
+]
+
+#: Equivalent heights for the surface-value -> zenith conversion, km.
+OXYGEN_EQUIVALENT_HEIGHT_KM = 6.0
+WATER_VAPOUR_EQUIVALENT_HEIGHT_KM = 1.6
+
+
+def oxygen_specific_attenuation_dbkm(freq_ghz: float) -> float:
+    """Dry-air (oxygen) specific attenuation at the surface, dB/km.
+
+    Valid below 54 GHz (all the bands this project touches).
+    """
+    if not 0.0 < freq_ghz < 54.0:
+        raise ValueError("simplified oxygen model is valid below 54 GHz")
+    f = freq_ghz
+    return (7.2 / (f**2 + 0.34) + 0.62 / ((54.0 - f) ** 1.16 + 0.83)) * f**2 * 1e-3
+
+
+def water_vapour_specific_attenuation_dbkm(freq_ghz: float, vapour_gm3) -> np.ndarray:
+    """Water-vapour specific attenuation at the surface, dB/km.
+
+    Captures the 22.235 GHz resonance; vectorized over vapour density.
+    """
+    if freq_ghz <= 0:
+        raise ValueError("frequency must be positive")
+    rho = np.asarray(vapour_gm3, dtype=float)
+    f = freq_ghz
+    eta1 = 0.955 + 0.006 * rho
+    line = 3.98 * eta1 / ((f - 22.235) ** 2 + 9.42 * eta1**2)
+    continuum = 0.0812
+    return (line * (1.0 + ((f - 22.0) / (f + 22.0)) ** 2) + continuum) * f**2 * rho * 1e-4
+
+
+def gaseous_attenuation_db(lat_deg, lon_deg, elevation_deg, freq_ghz: float):
+    """Total slant-path gaseous attenuation, dB (vectorized).
+
+    Zenith attenuation = gamma_o * h_o + gamma_w * h_w, scaled by the
+    cosecant of the elevation (flat-atmosphere approximation, fine above
+    5 degrees).
+    """
+    lat, lon, elev = np.broadcast_arrays(
+        np.asarray(lat_deg, dtype=float),
+        np.asarray(lon_deg, dtype=float),
+        np.asarray(elevation_deg, dtype=float),
+    )
+    theta = np.radians(np.clip(elev, 5.0, 90.0))
+    gamma_o = oxygen_specific_attenuation_dbkm(freq_ghz)
+    vapour = water_vapour_density_gm3(lat, lon)
+    gamma_w = water_vapour_specific_attenuation_dbkm(freq_ghz, vapour)
+    zenith = gamma_o * OXYGEN_EQUIVALENT_HEIGHT_KM + gamma_w * WATER_VAPOUR_EQUIVALENT_HEIGHT_KM
+    return zenith / np.sin(theta)

@@ -1,0 +1,188 @@
+"""Rain attenuation: ITU-R P.838 coefficients + P.618 slant-path model.
+
+Implements, from scratch:
+
+* **P.838-3** — frequency-dependent regression coefficients ``k`` and
+  ``alpha`` of the specific-attenuation power law
+  ``gamma_R = k * R^alpha`` (dB/km), for horizontal and vertical
+  polarization, combined for circular polarization;
+* **P.618-13 section 2.2.1.1** — slant-path rain attenuation exceeded
+  0.01 % of an average year, via the horizontal/vertical path-reduction
+  factors;
+* **P.618 exceedance scaling** — attenuation at other annual exceedance
+  probabilities ``0.001 % <= p <= 5 %``.
+
+The coefficient tables below are the published P.838-3 regression
+constants. Functions are vectorized over locations/elevations; frequency
+is scalar per call (each link band is evaluated separately).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.atmosphere.climate import rain_height_km, rain_rate_001_mmh
+
+__all__ = [
+    "specific_attenuation_coefficients",
+    "rain_specific_attenuation_dbkm",
+    "rain_attenuation_db",
+]
+
+# P.838-3 regression constants: log10(k) as a sum of Gaussians in log10(f).
+_KH = {
+    "a": np.array([-5.33980, -0.35351, -0.23789, -0.94158]),
+    "b": np.array([-0.10008, 1.26970, 0.86036, 0.64552]),
+    "c": np.array([1.13098, 0.45400, 0.15354, 0.16817]),
+    "m": -0.18961,
+    "ck": 0.71147,
+}
+_KV = {
+    "a": np.array([-3.80595, -3.44965, -0.39902, 0.50167]),
+    "b": np.array([0.56934, -0.22911, 0.73042, 1.07319]),
+    "c": np.array([0.81061, 0.51059, 0.11899, 0.27195]),
+    "m": -0.16398,
+    "ck": 0.63297,
+}
+_AH = {
+    "a": np.array([-0.14318, 0.29591, 0.32177, -5.37610, 16.1721]),
+    "b": np.array([1.82442, 0.77564, 0.63773, -0.96230, -3.29980]),
+    "c": np.array([-0.55187, 0.19822, 0.13164, 1.47828, 3.43990]),
+    "m": 0.67849,
+    "ck": -1.95537,
+}
+_AV = {
+    "a": np.array([-0.07771, 0.56727, -0.20238, -48.2991, 48.5833]),
+    "b": np.array([2.33840, 0.95545, 1.14520, 0.791669, 0.791459]),
+    "c": np.array([-0.76284, 0.54039, 0.26809, 0.116226, 0.116479]),
+    "m": -0.053739,
+    "ck": 0.83433,
+}
+
+
+def _regression(freq_ghz: float, table: dict) -> float:
+    log_f = np.log10(freq_ghz)
+    gaussians = table["a"] * np.exp(-(((log_f - table["b"]) / table["c"]) ** 2))
+    return float(np.sum(gaussians) + table["m"] * log_f + table["ck"])
+
+
+def specific_attenuation_coefficients(
+    freq_ghz: float, polarization: str = "circular", elevation_deg: float = 45.0
+):
+    """``(k, alpha)`` power-law coefficients at ``freq_ghz`` (1-1000 GHz).
+
+    Circular polarization (the common satellite case, and our default)
+    combines the H and V coefficients per P.838 with tilt angle 45 deg.
+    """
+    if not 1.0 <= freq_ghz <= 1000.0:
+        raise ValueError(f"frequency {freq_ghz} GHz outside P.838 range")
+    k_h = 10.0 ** _regression(freq_ghz, _KH)
+    k_v = 10.0 ** _regression(freq_ghz, _KV)
+    a_h = _regression(freq_ghz, _AH)
+    a_v = _regression(freq_ghz, _AV)
+    if polarization == "horizontal":
+        return k_h, a_h
+    if polarization == "vertical":
+        return k_v, a_v
+    if polarization == "circular":
+        # P.838 combining with polarization tilt tau = 45 deg:
+        # cos^2(theta) * cos(2*tau) = 0, so the cross terms vanish.
+        k = (k_h + k_v) / 2.0
+        alpha = (k_h * a_h + k_v * a_v) / (2.0 * k)
+        return k, alpha
+    raise ValueError(f"unknown polarization {polarization!r}")
+
+
+def rain_specific_attenuation_dbkm(
+    rain_rate_mmh, freq_ghz: float, polarization: str = "circular"
+):
+    """Specific rain attenuation ``k * R^alpha``, dB/km. Vectorized in R."""
+    k, alpha = specific_attenuation_coefficients(freq_ghz, polarization)
+    return k * np.power(np.maximum(np.asarray(rain_rate_mmh, dtype=float), 0.0), alpha)
+
+
+def rain_attenuation_db(
+    lat_deg,
+    lon_deg,
+    elevation_deg,
+    freq_ghz: float,
+    exceedance_pct: float = 0.01,
+    station_height_km: float = 0.0,
+):
+    """Slant-path rain attenuation exceeded ``exceedance_pct`` of a year, dB.
+
+    Vectorized over ``lat/lon/elevation`` (broadcast together).
+    ``exceedance_pct`` is in percent-of-year, valid 0.001-5 per P.618.
+    Elevations below 5 degrees are clamped to 5 (the model's stated
+    range; our constellations never serve below 25 degrees anyway).
+    """
+    if not 0.001 <= exceedance_pct <= 5.0:
+        raise ValueError("exceedance_pct outside the P.618 scaling range")
+    lat, lon, elev = np.broadcast_arrays(
+        np.asarray(lat_deg, dtype=float),
+        np.asarray(lon_deg, dtype=float),
+        np.asarray(elevation_deg, dtype=float),
+    )
+    theta = np.radians(np.clip(elev, 5.0, 90.0))
+    sin_t, cos_t = np.sin(theta), np.cos(theta)
+
+    rain_rate = rain_rate_001_mmh(lat, lon)
+    gamma_r = rain_specific_attenuation_dbkm(rain_rate, freq_ghz)
+
+    height_delta = np.maximum(rain_height_km(lat) - station_height_km, 0.0)
+    slant_len = height_delta / sin_t  # L_S, km
+    ground_len = slant_len * cos_t  # L_G, km
+
+    # Horizontal reduction factor r_0.01.
+    r001 = 1.0 / (
+        1.0
+        + 0.78 * np.sqrt(ground_len * gamma_r / freq_ghz)
+        - 0.38 * (1.0 - np.exp(-2.0 * ground_len))
+    )
+
+    # Vertical adjustment factor nu_0.01.
+    zeta = np.arctan2(height_delta, ground_len * r001)
+    rain_path = np.where(
+        zeta > theta, ground_len * r001 / cos_t, height_delta / sin_t
+    )
+    chi = np.where(np.abs(lat) < 36.0, 36.0 - np.abs(lat), 0.0)
+    nu = 1.0 / (
+        1.0
+        + np.sqrt(sin_t)
+        * (
+            31.0
+            * (1.0 - np.exp(-np.degrees(theta) / (1.0 + chi)))
+            * np.sqrt(rain_path * gamma_r)
+            / freq_ghz**2
+            - 0.45
+        )
+    )
+    effective_len = rain_path * np.clip(nu, 0.0, None)
+    a001 = gamma_r * effective_len
+
+    p = exceedance_pct
+    if abs(p - 0.01) < 1e-12:
+        return a001
+
+    # Exceedance scaling (P.618 eq. 8).
+    abs_lat = np.abs(lat)
+    elev_deg_arr = np.degrees(theta)
+    beta = np.zeros_like(a001)
+    scale_region = (p < 1.0) & (abs_lat < 36.0)
+    beta = np.where(
+        scale_region & (elev_deg_arr >= 25.0), -0.005 * (abs_lat - 36.0), beta
+    )
+    beta = np.where(
+        scale_region & (elev_deg_arr < 25.0),
+        -0.005 * (abs_lat - 36.0) + 1.8 - 4.25 * sin_t,
+        beta,
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        exponent = -(
+            0.655
+            + 0.033 * np.log(p)
+            - 0.045 * np.log(np.maximum(a001, 1e-9))
+            - beta * (1.0 - p) * sin_t
+        )
+    attenuation = a001 * np.power(p / 0.01, exponent)
+    return np.maximum(attenuation, 0.0)

@@ -1,0 +1,74 @@
+"""Tropospheric scintillation (ITU-R P.618 section 2.4.1 model).
+
+Turbulence in the lower troposphere causes rapid signal fluctuations
+that matter at low elevations. The model predicts the fade depth
+exceeded ``p`` percent of the time from the wet term of surface
+refractivity (N_wet), frequency, elevation, and antenna aperture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.atmosphere.climate import wet_term_nwet
+
+__all__ = ["scintillation_fade_db"]
+
+#: Default user-terminal antenna: 0.6 m dish at 0.5 aperture efficiency —
+#: representative of the flat-panel/small-dish terminals LEO services use.
+DEFAULT_ANTENNA_DIAMETER_M = 0.6
+DEFAULT_ANTENNA_EFFICIENCY = 0.5
+
+#: Height of the turbulent layer, m (P.618 value).
+_TURBULENCE_HEIGHT_M = 1000.0
+
+
+def _time_percentage_factor(p_pct):
+    """a(p) polynomial, valid for 0.01 <= p <= 50."""
+    log_p = np.log10(p_pct)
+    return -0.061 * log_p**3 + 0.072 * log_p**2 - 1.71 * log_p + 3.0
+
+
+def scintillation_fade_db(
+    lat_deg,
+    lon_deg,
+    elevation_deg,
+    freq_ghz: float,
+    exceedance_pct: float = 0.5,
+    antenna_diameter_m: float = DEFAULT_ANTENNA_DIAMETER_M,
+    antenna_efficiency: float = DEFAULT_ANTENNA_EFFICIENCY,
+):
+    """Scintillation fade exceeded ``exceedance_pct`` of the time, dB.
+
+    Vectorized over location/elevation. Valid for 4-55 GHz carriers and
+    exceedance 0.01-50 %.
+    """
+    if not 0.01 <= exceedance_pct <= 50.0:
+        raise ValueError("exceedance_pct outside the scintillation model range")
+    if freq_ghz <= 0:
+        raise ValueError("frequency must be positive")
+    lat, lon, elev = np.broadcast_arrays(
+        np.asarray(lat_deg, dtype=float),
+        np.asarray(lon_deg, dtype=float),
+        np.asarray(elevation_deg, dtype=float),
+    )
+    theta = np.radians(np.clip(elev, 5.0, 90.0))
+    sin_t = np.sin(theta)
+
+    n_wet = wet_term_nwet(lat, lon)
+    sigma_ref = 3.6e-3 + 1e-4 * n_wet  # dB
+
+    # Effective path length through the turbulent layer.
+    path_len = 2.0 * _TURBULENCE_HEIGHT_M / (
+        np.sqrt(sin_t**2 + 2.35e-4) + sin_t
+    )
+    # Antenna-averaging factor g(x).
+    d_eff = np.sqrt(antenna_efficiency) * antenna_diameter_m
+    x = 1.22 * d_eff**2 * freq_ghz / path_len
+    arg = 3.86 * (x**2 + 1.0) ** (11.0 / 12.0) * np.sin(
+        11.0 / 6.0 * np.arctan2(1.0, x)
+    ) - 7.08 * x ** (5.0 / 6.0)
+    g = np.sqrt(np.maximum(arg, 0.0))
+
+    sigma = sigma_ref * freq_ghz ** (7.0 / 12.0) * g / sin_t**1.2
+    return _time_percentage_factor(exceedance_pct) * sigma

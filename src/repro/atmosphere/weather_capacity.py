@@ -1,0 +1,68 @@
+"""Per-edge weather capacity derating (atmosphere -> flows coupling).
+
+Computes, for every GT-satellite edge of a snapshot graph, the MODCOD
+capacity factor under the attenuation exceeded ``exceedance_pct`` of the
+time. ISLs and fiber stay at factor 1.0 (weather-immune). The factor
+array multiplies the edge capacities in
+:func:`repro.flows.throughput.evaluate_throughput`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.atmosphere.attenuation import total_attenuation_db
+from repro.constants import DOWNLINK_FREQ_GHZ, UPLINK_FREQ_GHZ
+from repro.network.graph import SnapshotGraph
+from repro.network.modcod import weather_capacity_factor
+from repro.orbits.coordinates import ecef_to_geodetic
+from repro.orbits.visibility import elevation_deg
+
+__all__ = ["edge_weather_capacity_factors"]
+
+
+def edge_weather_capacity_factors(
+    graph: SnapshotGraph,
+    exceedance_pct: float = 0.5,
+    uplink_freq_ghz: float = UPLINK_FREQ_GHZ,
+    downlink_freq_ghz: float = DOWNLINK_FREQ_GHZ,
+    link_budget=None,
+) -> np.ndarray:
+    """MODCOD capacity factor per edge (1.0 for non-radio edges).
+
+    A radio link carries both directions; we derate by the *worse* of
+    the up- and down-link attenuations (a single struggling direction
+    stalls the bidirectional abstraction our flows use).
+
+    With the default ``link_budget=None`` the factor uses the flat
+    fixed-margin MODCOD model (every link enjoys the same clear-sky
+    margin). Passing a :class:`repro.network.linkbudget.LinkBudget`
+    switches to the *elevation-aware* model: long low-elevation slant
+    paths have less margin, so the same storm kills them first.
+    """
+    factors = np.ones(graph.num_edges)
+    radio = graph.edge_kind == 0
+    if not radio.any():
+        return factors
+
+    edges = graph.edges[radio]
+    sat_idx = edges[:, 0]
+    gt_idx = edges[:, 1] - graph.num_sats
+    gt_pos = graph.gt_ecef[gt_idx]
+    sat_pos = graph.sat_ecef[sat_idx]
+    elevations = elevation_deg(gt_pos, sat_pos)
+    lats, lons, _ = ecef_to_geodetic(gt_pos)
+
+    attenuation = np.maximum(
+        total_attenuation_db(lats, lons, elevations, uplink_freq_ghz, exceedance_pct),
+        total_attenuation_db(lats, lons, elevations, downlink_freq_ghz, exceedance_pct),
+    )
+    if link_budget is None:
+        factors[radio] = weather_capacity_factor(attenuation)
+    else:
+        distances = graph.edge_dist_m[radio]
+        clear = link_budget.capacity_bps(distances)
+        faded = link_budget.capacity_bps(distances, attenuation)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            factors[radio] = np.where(clear > 0, faded / clear, 0.0)
+    return factors

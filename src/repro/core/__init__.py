@@ -1,0 +1,35 @@
+"""Core comparison engine: scenarios, pipelines, metrics, comparisons."""
+
+from repro.core.comparison import LatencyComparison, compare_latency
+from repro.core.metrics import (
+    PairRttStats,
+    cdf_points,
+    distribution_summary,
+    rtt_stats,
+)
+from repro.core.parallel import compute_rtt_series_parallel, default_worker_count
+from repro.core.pipeline import (
+    RttSeries,
+    compute_rtt_series,
+    pair_path_at,
+    pair_paths_on_graph,
+)
+from repro.core.scenario import Scenario, ScenarioScale, full_scale_requested
+
+__all__ = [
+    "Scenario",
+    "ScenarioScale",
+    "full_scale_requested",
+    "RttSeries",
+    "compute_rtt_series",
+    "compute_rtt_series_parallel",
+    "default_worker_count",
+    "pair_paths_on_graph",
+    "pair_path_at",
+    "PairRttStats",
+    "rtt_stats",
+    "distribution_summary",
+    "cdf_points",
+    "LatencyComparison",
+    "compare_latency",
+]

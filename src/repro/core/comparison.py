@@ -1,0 +1,86 @@
+"""The paper's contribution: BP-vs-hybrid comparison across metrics.
+
+:func:`compare_latency` runs the Section 4 analysis (RTT and its
+variability); the headline numbers the paper derives from it — the
+median/95th-percentile variation increase from eschewing ISLs and the
+maximum min-RTT gap — come out of :class:`LatencyComparison`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import PairRttStats, distribution_summary, rtt_stats
+from repro.core.pipeline import RttSeries, compute_rtt_series
+from repro.core.scenario import Scenario
+from repro.network.graph import ConnectivityMode
+
+__all__ = ["LatencyComparison", "compare_latency"]
+
+
+@dataclass(frozen=True)
+class LatencyComparison:
+    """Section 4 results for one scenario."""
+
+    scenario: Scenario
+    bp_series: RttSeries
+    hybrid_series: RttSeries
+    bp_stats: PairRttStats
+    hybrid_stats: PairRttStats
+
+    def min_rtt_gap_ms(self) -> np.ndarray:
+        """Per-pair BP-minus-hybrid minimum RTT (>= 0 up to noise)."""
+        return self.bp_stats.min_rtt_ms - self.hybrid_stats.min_rtt_ms
+
+    def max_min_rtt_gap_ms(self) -> float:
+        """The paper's "maximum difference" headline (57 ms at full scale)."""
+        gaps = self.min_rtt_gap_ms()
+        gaps = gaps[np.isfinite(gaps)]
+        return float(np.max(gaps)) if len(gaps) else float("nan")
+
+    def variation_increase_pct(self, percentile: float) -> float:
+        """How much more RTT varies without ISLs, at a pair percentile.
+
+        The paper reports +80 % at the median pair and +422 % at the
+        95th percentile. Computed as the relative increase of the BP
+        variation distribution over the hybrid one at the given
+        percentile.
+        """
+        bp = self.bp_stats.variation_ms
+        hy = self.hybrid_stats.variation_ms
+        bp = bp[np.isfinite(bp)]
+        hy = hy[np.isfinite(hy)]
+        if len(bp) == 0 or len(hy) == 0:
+            return float("nan")
+        bp_q = float(np.percentile(bp, percentile))
+        hy_q = float(np.percentile(hy, percentile))
+        if hy_q <= 0:
+            return float("inf") if bp_q > 0 else 0.0
+        return 100.0 * (bp_q - hy_q) / hy_q
+
+    def summary(self) -> dict:
+        """All headline numbers in one dict (used by EXPERIMENTS.md)."""
+        return {
+            "bp_min_rtt": distribution_summary(self.bp_stats.min_rtt_ms),
+            "hybrid_min_rtt": distribution_summary(self.hybrid_stats.min_rtt_ms),
+            "bp_variation": distribution_summary(self.bp_stats.variation_ms),
+            "hybrid_variation": distribution_summary(self.hybrid_stats.variation_ms),
+            "max_min_rtt_gap_ms": self.max_min_rtt_gap_ms(),
+            "variation_increase_median_pct": self.variation_increase_pct(50),
+            "variation_increase_p95_pct": self.variation_increase_pct(95),
+        }
+
+
+def compare_latency(scenario: Scenario, progress=None) -> LatencyComparison:
+    """Run the full Section 4 comparison (both modes, all snapshots)."""
+    bp_series = compute_rtt_series(scenario, ConnectivityMode.BP_ONLY, progress)
+    hybrid_series = compute_rtt_series(scenario, ConnectivityMode.HYBRID, progress)
+    return LatencyComparison(
+        scenario=scenario,
+        bp_series=bp_series,
+        hybrid_series=hybrid_series,
+        bp_stats=rtt_stats(bp_series),
+        hybrid_stats=rtt_stats(hybrid_series),
+    )

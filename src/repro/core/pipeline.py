@@ -1,0 +1,131 @@
+"""The snapshot pipeline: RTT series for a traffic matrix over a day.
+
+For each snapshot, shortest-path RTTs for every city pair are computed
+with source-batched Dijkstra: pairs are grouped by source city, one
+single-source run serves every pair sharing that source. This is the
+workhorse behind the paper's Section 4 (Fig. 2) analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse import csgraph
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.core.scenario import Scenario
+from repro.flows.traffic import CityPair
+from repro.network.graph import ConnectivityMode, SnapshotGraph
+from repro.network.paths import Path, extract_path
+
+__all__ = ["RttSeries", "compute_rtt_series", "pair_path_at", "pair_paths_on_graph"]
+
+
+@dataclass(frozen=True)
+class RttSeries:
+    """RTT (ms) for each pair at each snapshot; ``inf`` = unreachable."""
+
+    mode: ConnectivityMode
+    times_s: np.ndarray
+    rtt_ms: np.ndarray  # shape (num_pairs, num_snapshots)
+
+    @property
+    def num_pairs(self) -> int:
+        return self.rtt_ms.shape[0]
+
+    @property
+    def num_snapshots(self) -> int:
+        return self.rtt_ms.shape[1]
+
+    def reachable_fraction(self) -> float:
+        """Fraction of (pair, snapshot) cells with a usable path."""
+        return float(np.mean(np.isfinite(self.rtt_ms)))
+
+
+def _pair_rtts_on_graph(graph: SnapshotGraph, pairs: list[CityPair]) -> np.ndarray:
+    """Shortest-path RTT in ms for every pair on one snapshot graph."""
+    matrix = graph.matrix()
+    sources: dict[int, list[int]] = {}
+    for idx, pair in enumerate(pairs):
+        sources.setdefault(pair.a, []).append(idx)
+
+    rtts = np.full(len(pairs), np.inf)
+    source_cities = sorted(sources)
+    source_nodes = [graph.gt_node(city) for city in source_cities]
+    distances = csgraph.dijkstra(matrix, directed=True, indices=source_nodes)
+    for row, city in enumerate(source_cities):
+        for idx in sources[city]:
+            target_node = graph.gt_node(pairs[idx].b)
+            distance_m = distances[row, target_node]
+            if np.isfinite(distance_m):
+                rtts[idx] = 2e3 * distance_m / SPEED_OF_LIGHT
+    return rtts
+
+
+def compute_rtt_series(
+    scenario: Scenario,
+    mode: ConnectivityMode,
+    progress=None,
+) -> RttSeries:
+    """RTTs of every scenario pair across every snapshot.
+
+    ``progress`` (optional) is called as ``progress(i, total)`` after each
+    snapshot — long full-scale runs want a heartbeat.
+    """
+    pairs = scenario.pairs
+    times = scenario.times_s
+    rtt = np.full((len(pairs), len(times)), np.inf)
+    for i, time_s in enumerate(times):
+        graph = scenario.graph_at(float(time_s), mode)
+        rtt[:, i] = _pair_rtts_on_graph(graph, pairs)
+        if progress is not None:
+            progress(i + 1, len(times))
+    return RttSeries(mode=mode, times_s=times, rtt_ms=rtt)
+
+
+def pair_paths_on_graph(
+    graph: SnapshotGraph, pairs: list[CityPair]
+) -> list[tuple[int, ...] | None]:
+    """Shortest-path node sequences for many pairs on one graph.
+
+    Source-batched: one predecessor-producing Dijkstra per unique source
+    city serves all pairs sharing it. Unreachable pairs yield ``None``.
+    """
+    by_source: dict[int, list[int]] = {}
+    for idx, pair in enumerate(pairs):
+        by_source.setdefault(pair.a, []).append(idx)
+    matrix = graph.matrix()
+    paths: list[tuple[int, ...] | None] = [None] * len(pairs)
+    for city, pair_indices in by_source.items():
+        source = graph.gt_node(city)
+        _, pred = csgraph.dijkstra(
+            matrix, directed=True, indices=source, return_predecessors=True
+        )
+        for idx in pair_indices:
+            target = graph.gt_node(pairs[idx].b)
+            paths[idx] = extract_path(pred, source, target)
+    return paths
+
+
+def pair_path_at(
+    scenario: Scenario,
+    pair: CityPair,
+    time_s: float,
+    mode: ConnectivityMode,
+) -> tuple[SnapshotGraph, Path | None]:
+    """The actual shortest path (nodes) for one pair at one snapshot.
+
+    Used by the Fig. 3 / Fig. 7-8 case studies that need hop-level
+    detail, not just the RTT.
+    """
+    graph = scenario.graph_at(time_s, mode)
+    source = graph.gt_node(pair.a)
+    target = graph.gt_node(pair.b)
+    dist, pred = csgraph.dijkstra(
+        graph.matrix(), directed=True, indices=source, return_predecessors=True
+    )
+    nodes = extract_path(pred, source, target)
+    if nodes is None:
+        return graph, None
+    return graph, Path(nodes=nodes, length_m=float(dist[target]))

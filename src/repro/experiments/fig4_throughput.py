@@ -1,0 +1,82 @@
+"""Fig. 4 — aggregate throughput, BP vs hybrid, Starlink and Kuiper.
+
+Traffic between the sampled city pairs is routed over k edge-disjoint
+shortest paths (k = 1 and 4) and rates come from max-min fair sharing
+with 20 Gbps GT links and 100 Gbps ISLs.
+
+Paper shapes to reproduce: hybrid beats BP by more than 2.5x at k = 1
+and at least 3.1x at k = 4, on both constellations; the multipath gain
+(k = 4 over k = 1) is larger for hybrid (1.65x/1.76x) than for BP
+(1.34x/1.44x).
+"""
+
+from __future__ import annotations
+
+from repro.core.scenario import Scenario, ScenarioScale, full_scale_requested
+from repro.experiments.base import ExperimentResult, register
+from repro.flows.throughput import evaluate_throughput
+from repro.network.graph import ConnectivityMode
+from repro.network.links import LinkCapacities
+from repro.reporting.tables import format_summary, format_table
+
+__all__ = ["run", "throughput_matrix"]
+
+
+def throughput_matrix(
+    scenario: Scenario,
+    ks=(1, 4),
+    capacities: LinkCapacities | None = None,
+    time_s: float = 0.0,
+) -> dict:
+    """Aggregate throughput for every (mode, k) combination, Gbps."""
+    capacities = capacities or LinkCapacities()
+    results = {}
+    for mode in (ConnectivityMode.BP_ONLY, ConnectivityMode.HYBRID):
+        graph = scenario.graph_at(time_s, mode)
+        for k in ks:
+            outcome = evaluate_throughput(graph, scenario.pairs, k=k, capacities=capacities)
+            results[(mode.value, k)] = outcome.aggregate_gbps
+    return results
+
+
+@register("fig4")
+def run(scale: ScenarioScale | None = None) -> ExperimentResult:
+    """Run this experiment; see the module docstring for the design."""
+    scale = scale or (
+        ScenarioScale.full()
+        if full_scale_requested()
+        else ScenarioScale.throughput_bench()
+    )
+    rows = []
+    data = {}
+    headline = {}
+    for constellation in ("starlink", "kuiper"):
+        scenario = Scenario.paper_default(constellation, scale)
+        matrix = throughput_matrix(scenario)
+        data[constellation] = matrix
+        bp1, bp4 = matrix[("bp", 1)], matrix[("bp", 4)]
+        hy1, hy4 = matrix[("hybrid", 1)], matrix[("hybrid", 4)]
+        rows.append([constellation, "BP", f"{bp1:.0f}", f"{bp4:.0f}"])
+        rows.append([constellation, "Hybrid", f"{hy1:.0f}", f"{hy4:.0f}"])
+        headline[f"{constellation} hybrid/BP at k=1 [paper: >2.5x]"] = round(hy1 / bp1, 2)
+        headline[f"{constellation} hybrid/BP at k=4 [paper: >=3.1x]"] = round(hy4 / bp4, 2)
+        headline[f"{constellation} hybrid multipath gain [paper: 1.65-1.76x]"] = round(
+            hy4 / hy1, 2
+        )
+        headline[f"{constellation} BP multipath gain [paper: 1.34-1.44x]"] = round(
+            bp4 / bp1, 2
+        )
+
+    table = format_table(
+        ["constellation", "mode", "k=1 (Gbps)", "k=4 (Gbps)"],
+        rows,
+        title="Fig 4: aggregate throughput",
+    )
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Network-wide throughput (BP vs hybrid)",
+        scale_name=scale.name,
+        tables=[table, format_summary("Fig 4 headline ratios", headline)],
+        data=data,
+        headline=headline,
+    )

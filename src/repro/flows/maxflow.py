@@ -1,0 +1,118 @@
+"""The "lax" max-flow throughput model the paper criticizes (Section 3).
+
+Prior work [13, del Portillo et al.] estimated constellation throughput
+by solving **one maximum-flow instance**: every traffic source feeds a
+super-source, every destination drains to one super-sink, and traffic
+"entering the constellation could exit anywhere" — no per-pair demand
+matching. The paper calls this "an extremely lax model".
+
+We implement that model faithfully so the critique can be reproduced:
+the lax bound massively overstates achievable throughput and compresses
+the BP-vs-hybrid gap, because it lets sources dump traffic to whichever
+sink happens to be cheap.
+
+scipy's ``maximum_flow`` works on int32 capacities; we quantize to Mbps,
+which keeps every realistic capacity and aggregate comfortably inside
+int32 while losing at most 1 Mbps per link.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.csgraph import maximum_flow
+
+from repro.flows.traffic import CityPair
+from repro.network.graph import SnapshotGraph
+from repro.network.links import LinkCapacities
+
+__all__ = ["lax_max_flow_bps"]
+
+#: Quantization of capacities for the integer max-flow solver.
+_MBPS = 1e6
+
+#: "Unlimited" capacity for super-source/sink arcs, in Mbps (int32-safe).
+_SUPER_CAPACITY = 2**30
+
+
+def lax_max_flow_bps(
+    graph: SnapshotGraph,
+    pairs: list[CityPair],
+    capacities: LinkCapacities | None = None,
+) -> float:
+    """Aggregate throughput under the lax any-source-to-any-sink model.
+
+    Returns bits/s. Sources are the pair-``a`` cities, sinks the
+    pair-``b`` cities (union over the traffic matrix, no per-pair
+    matching — that is precisely the model's laxness).
+
+    Construction note: a city can be both a source and a sink; attaching
+    super-source and super-sink arcs to the same node would create a
+    ground-only shortcut carrying fake flow. Instead, injected traffic
+    enters through a per-source *up-link copy* (arcs to the source's
+    visible satellites at radio capacity) and leaves through a per-sink
+    *down-link copy* (arcs from the sink's visible satellites), so every
+    unit of flow traverses at least one satellite — as physical traffic
+    must. Radio up- and down-link capacities are separate in the paper's
+    model, which is exactly what the two copies encode.
+    """
+    capacities = capacities or LinkCapacities()
+    edge_caps_mbps = np.maximum(
+        (graph.edge_capacities(capacities) / _MBPS).astype(np.int64), 1
+    )
+    radio_cap_mbps = max(int(capacities.gt_sat_bps / _MBPS), 1)
+
+    sources = sorted({p.a for p in pairs})
+    sinks = sorted({p.b for p in pairs})
+    if not sources or not sinks:
+        return 0.0
+
+    # Satellites visible from each city GT (from the graph's edge table).
+    sat_neighbours: dict[int, list[int]] = {}
+    for sat, gt in graph.edges[graph.edge_kind == 0]:
+        sat_neighbours.setdefault(int(gt) - graph.num_sats, []).append(int(sat))
+
+    n = graph.num_nodes
+    super_source = n
+    super_sink = n + 1
+    up_base = n + 2
+    down_base = up_base + len(sources)
+    total_nodes = down_base + len(sinks)
+
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    data: list[np.ndarray] = []
+
+    # The full transit network (both directions of every edge).
+    u, v = graph.edges[:, 0], graph.edges[:, 1]
+    rows += [u, v]
+    cols += [v, u]
+    data += [edge_caps_mbps, edge_caps_mbps]
+
+    def _append(r, c, cap):
+        rows.append(np.asarray(r, dtype=np.int64))
+        cols.append(np.asarray(c, dtype=np.int64))
+        data.append(np.asarray(cap, dtype=np.int64))
+
+    for i, city in enumerate(sources):
+        up_node = up_base + i
+        _append([super_source], [up_node], [_SUPER_CAPACITY])
+        sats = sat_neighbours.get(city, [])
+        if sats:
+            _append([up_node] * len(sats), sats, [radio_cap_mbps] * len(sats))
+    for i, city in enumerate(sinks):
+        down_node = down_base + i
+        _append([down_node], [super_sink], [_SUPER_CAPACITY])
+        sats = sat_neighbours.get(city, [])
+        if sats:
+            _append(sats, [down_node] * len(sats), [radio_cap_mbps] * len(sats))
+
+    matrix = sparse.csr_matrix(
+        (
+            np.concatenate(data).astype(np.int32),
+            (np.concatenate(rows), np.concatenate(cols)),
+        ),
+        shape=(total_nodes, total_nodes),
+    )
+    result = maximum_flow(matrix, super_source, super_sink)
+    return float(result.flow_value) * _MBPS

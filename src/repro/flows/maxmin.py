@@ -1,0 +1,143 @@
+"""Max-min fair rate allocation over fixed routed flows.
+
+This is our from-scratch replacement for the routed-flow core of
+``floodns`` [28], implementing exactly the algorithm the paper describes
+(Section 5, citing Nace et al.): *progressive filling* — all unfrozen
+flows grow at the same rate; the first link to saturate freezes the flows
+crossing it at their current rate; repeat until every flow is frozen.
+
+Properties (all covered by property-based tests):
+
+* feasibility — per-link loads never exceed capacities;
+* saturation/Pareto-optimality — every flow crosses at least one
+  saturated link, so no flow can be raised without lowering another;
+* max-min fairness — a flow's rate can only be below another's if it
+  shares a bottleneck with flows of no higher rate.
+
+The implementation is vectorized over links: each round computes the
+tightest link in O(E) numpy work, and the number of rounds is bounded by
+the number of distinct bottleneck links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MaxMinResult", "max_min_fair_allocation"]
+
+#: Relative numeric slack when deciding a link has saturated.
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class MaxMinResult:
+    """Outcome of a max-min allocation."""
+
+    rates: np.ndarray  # (n_flows,) bits/s
+    link_loads: np.ndarray  # (n_edges,) bits/s
+    bottleneck_rounds: int
+
+    @property
+    def total_rate(self) -> float:
+        """Aggregate throughput across all flows, bits/s."""
+        return float(np.sum(self.rates))
+
+
+def max_min_fair_allocation(
+    flow_edges: list[np.ndarray],
+    capacities: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> MaxMinResult:
+    """Max-min fair rates for flows pinned to fixed paths.
+
+    ``flow_edges[i]`` lists the edge ids flow ``i`` traverses (a flow may
+    not be empty — a flow with no links has no bottleneck and no
+    meaningful rate). ``capacities`` gives per-edge capacity in bits/s.
+
+    ``weights`` (optional, positive) makes the allocation *weighted*
+    max-min fair: unfrozen flows grow at rates proportional to their
+    weights, so a weight-2 flow receives twice the rate of a weight-1
+    flow sharing its bottleneck. Weighted fairness is how a demand
+    matrix (e.g. the gravity traffic model's population products) maps
+    onto the progressive-filling allocator; equal weights reduce exactly
+    to the unweighted algorithm.
+    """
+    n_flows = len(flow_edges)
+    capacities = np.asarray(capacities, dtype=float)
+    n_edges = len(capacities)
+    if n_flows == 0:
+        return MaxMinResult(
+            rates=np.empty(0), link_loads=np.zeros(n_edges), bottleneck_rounds=0
+        )
+    if weights is None:
+        weights = np.ones(n_flows)
+    else:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (n_flows,):
+            raise ValueError("weights must have one entry per flow")
+        if np.any(weights <= 0):
+            raise ValueError("weights must be positive")
+    for i, edges in enumerate(flow_edges):
+        if len(edges) == 0:
+            raise ValueError(f"flow {i} traverses no links")
+
+    # Edge -> flows incidence in CSR style.
+    flow_ids = np.concatenate(
+        [np.full(len(edges), i, dtype=np.int64) for i, edges in enumerate(flow_edges)]
+    )
+    edge_ids = np.concatenate([np.asarray(e, dtype=np.int64) for e in flow_edges])
+    if len(edge_ids) and (edge_ids.min() < 0 or edge_ids.max() >= n_edges):
+        raise ValueError("flow references an edge id outside the capacity table")
+    order = np.argsort(edge_ids, kind="stable")
+    sorted_edges = edge_ids[order]
+    sorted_flows = flow_ids[order]
+    edge_start = np.searchsorted(sorted_edges, np.arange(n_edges), side="left")
+    edge_end = np.searchsorted(sorted_edges, np.arange(n_edges), side="right")
+
+    active = np.ones(n_flows, dtype=bool)
+    rates = np.zeros(n_flows)
+    remaining = capacities.astype(float).copy()
+    # Per-link sum of active flows' weights ("counts" in the unweighted
+    # algorithm); rates grow by weight_i * increment per round.
+    incidence_weights = weights[flow_ids]
+    counts = np.zeros(n_edges)
+    np.add.at(counts, edge_ids, incidence_weights)
+
+    rounds = 0
+    while active.any():
+        used = counts > _EPS
+        if not used.any():
+            break  # Defensive: active flows but no loaded links.
+        with np.errstate(divide="ignore"):
+            headroom = np.where(used, remaining / np.maximum(counts, _EPS), np.inf)
+        increment = float(headroom.min())
+        if not np.isfinite(increment):
+            break
+        increment = max(increment, 0.0)
+
+        rates[active] += weights[active] * increment
+        remaining = remaining - counts * increment
+        rounds += 1
+
+        saturated = used & (remaining <= _EPS * capacities)
+        if not saturated.any():
+            # Numeric guard: force-freeze the tightest link so the loop
+            # always progresses even under pathological rounding.
+            saturated = used & (headroom <= increment * (1.0 + 1e-9))
+        frozen_flows: set[int] = set()
+        for edge in np.nonzero(saturated)[0]:
+            for flow in sorted_flows[edge_start[edge] : edge_end[edge]]:
+                if active[flow]:
+                    frozen_flows.add(int(flow))
+        for flow in frozen_flows:
+            active[flow] = False
+            np.add.at(
+                counts,
+                np.asarray(flow_edges[flow], dtype=np.int64),
+                -weights[flow],
+            )
+
+    loads = capacities - remaining
+    return MaxMinResult(rates=rates, link_loads=loads, bottleneck_rounds=rounds)

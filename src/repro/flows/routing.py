@@ -1,0 +1,89 @@
+"""Route the traffic matrix over k edge-disjoint shortest paths.
+
+Each city pair becomes up to ``k`` sub-flows, one per edge-disjoint
+shortest path (paper Section 5). Sub-flows are independent entities in
+the max-min allocation — because the paths are edge-disjoint, sub-flows
+of the same pair never compete with each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flows.traffic import CityPair
+from repro.network.graph import SnapshotGraph
+from repro.network.paths import Path, k_edge_disjoint_paths
+
+__all__ = ["SubFlow", "RoutedTraffic", "route_traffic", "edge_id_index"]
+
+
+@dataclass(frozen=True)
+class SubFlow:
+    """One routed sub-flow: a pair index, its path, and graph edge ids."""
+
+    pair_index: int
+    path: Path
+    edge_ids: np.ndarray
+
+
+@dataclass(frozen=True)
+class RoutedTraffic:
+    """All sub-flows routed on one snapshot graph."""
+
+    graph: SnapshotGraph
+    subflows: list[SubFlow]
+    unrouted_pairs: list[int]
+
+    @property
+    def num_subflows(self) -> int:
+        return len(self.subflows)
+
+    def flow_edge_lists(self) -> list[np.ndarray]:
+        """Per-subflow edge-id arrays, the max-min allocator's input."""
+        return [sf.edge_ids for sf in self.subflows]
+
+
+def edge_id_index(graph: SnapshotGraph) -> dict[tuple[int, int], int]:
+    """Map canonical (min, max) node pairs to edge ids."""
+    u = np.minimum(graph.edges[:, 0], graph.edges[:, 1])
+    v = np.maximum(graph.edges[:, 0], graph.edges[:, 1])
+    return {(int(a), int(b)): i for i, (a, b) in enumerate(zip(u, v))}
+
+
+def route_traffic(
+    graph: SnapshotGraph,
+    pairs: list[CityPair],
+    k: int = 1,
+) -> RoutedTraffic:
+    """Route every city pair over its k edge-disjoint shortest paths.
+
+    City indices in ``pairs`` refer to the station table's city block
+    (indices ``[0, city_count)``), which maps directly onto graph nodes.
+    Pairs with no path at this snapshot are recorded in
+    ``unrouted_pairs`` rather than silently dropped.
+    """
+    edge_index = edge_id_index(graph)
+    matrix = graph.matrix()
+    subflows: list[SubFlow] = []
+    unrouted: list[int] = []
+    for pair_idx, pair in enumerate(pairs):
+        source = graph.gt_node(pair.a)
+        target = graph.gt_node(pair.b)
+        paths = k_edge_disjoint_paths(matrix, source, target, k)
+        if not paths:
+            unrouted.append(pair_idx)
+            continue
+        for path in paths:
+            edge_ids = np.array(
+                [
+                    edge_index[(min(u, v), max(u, v))]
+                    for u, v in path.edge_pairs()
+                ],
+                dtype=np.int64,
+            )
+            subflows.append(
+                SubFlow(pair_index=pair_idx, path=path, edge_ids=edge_ids)
+            )
+    return RoutedTraffic(graph=graph, subflows=subflows, unrouted_pairs=unrouted)

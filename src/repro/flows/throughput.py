@@ -1,0 +1,172 @@
+"""End-to-end throughput evaluation on a snapshot (paper Section 5).
+
+Besides the paper's model (per-link capacities only), the evaluator
+supports two documented variations:
+
+* an alternative **allocator** (equal-split) for the D6 ablation;
+* a **per-satellite radio capacity cap**: the paper's filings talk about
+  each satellite's up-down capacity serving multiple GTs, and one
+  reading of the model bounds the satellite's aggregate radio
+  throughput. The cap is implemented as a virtual link per satellite
+  that every radio hop of a flow also traverses — a BP transit bounce
+  (up + down at the same satellite region) therefore consumes double,
+  exactly the physics the cap is meant to model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.flows.maxmin import MaxMinResult, max_min_fair_allocation
+from repro.flows.routing import RoutedTraffic, route_traffic
+from repro.flows.traffic import CityPair
+from repro.network.graph import SnapshotGraph
+from repro.network.links import LinkCapacities
+
+__all__ = ["ThroughputResult", "evaluate_throughput", "throughput_series_gbps"]
+
+
+def throughput_series_gbps(scenario, mode, k: int = 1, capacities=None) -> np.ndarray:
+    """Aggregate throughput at every scenario snapshot, Gbps.
+
+    The paper's Fig. 4/5 quote single aggregate numbers; this helper
+    measures how stable that aggregate actually is as the constellation
+    rotates and aircraft move (BP's number wobbles with the relay field;
+    hybrid's barely moves). One full routing per snapshot — budget
+    accordingly at large scales.
+    """
+    values = []
+    for time_s in scenario.times_s:
+        graph = scenario.graph_at(float(time_s), mode)
+        values.append(
+            evaluate_throughput(
+                graph, scenario.pairs, k=k, capacities=capacities
+            ).aggregate_gbps
+        )
+    return np.asarray(values)
+
+
+def _with_satellite_cap(
+    graph: SnapshotGraph,
+    routing: RoutedTraffic,
+    edge_caps: np.ndarray,
+    cap_bps: float,
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Append per-satellite virtual links to flows and capacities."""
+    virtual_base = graph.num_edges
+    capacities = np.concatenate([edge_caps, np.full(graph.num_sats, cap_bps)])
+    flow_lists: list[np.ndarray] = []
+    for subflow in routing.subflows:
+        extras = []
+        for u, v in subflow.path.edge_pairs():
+            u_sat = graph.is_sat_node(u)
+            v_sat = graph.is_sat_node(v)
+            if u_sat != v_sat:  # A radio hop touches exactly one satellite.
+                extras.append(virtual_base + (u if u_sat else v))
+        if extras:
+            flow_lists.append(
+                np.concatenate([subflow.edge_ids, np.asarray(extras, dtype=np.int64)])
+            )
+        else:
+            flow_lists.append(subflow.edge_ids)
+    return flow_lists, capacities
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Aggregate throughput of one snapshot under max-min fair sharing."""
+
+    routing: RoutedTraffic
+    allocation: MaxMinResult
+    capacities: LinkCapacities
+
+    @property
+    def aggregate_bps(self) -> float:
+        return self.allocation.total_rate
+
+    @property
+    def aggregate_gbps(self) -> float:
+        return self.aggregate_bps / 1e9
+
+    def per_pair_rates_bps(self, num_pairs: int) -> np.ndarray:
+        """Sum sub-flow rates back to their city pairs."""
+        rates = np.zeros(num_pairs)
+        for subflow, rate in zip(self.routing.subflows, self.allocation.rates):
+            rates[subflow.pair_index] += rate
+        return rates
+
+
+def evaluate_throughput(
+    graph: SnapshotGraph,
+    pairs: list[CityPair],
+    k: int = 1,
+    capacities: LinkCapacities | None = None,
+    routing: RoutedTraffic | None = None,
+    allocator: Callable[[list[np.ndarray], np.ndarray], MaxMinResult] | None = None,
+    satellite_radio_cap_bps: float | None = None,
+    edge_capacity_factors: np.ndarray | None = None,
+    pair_weights: np.ndarray | None = None,
+) -> ThroughputResult:
+    """Route ``pairs`` over ``k`` disjoint paths and allocate max-min rates.
+
+    Pass a precomputed ``routing`` to skip the (capacity-independent)
+    routing step — capacity sweeps like Fig. 5 re-allocate over the same
+    paths many times. ``allocator`` swaps the rate-allocation scheme
+    (default: max-min progressive filling). ``satellite_radio_cap_bps``
+    bounds each satellite's aggregate radio throughput (see module
+    docstring) — ``None`` reproduces the paper's per-link-only model.
+    ``edge_capacity_factors`` multiplies per-edge capacities (the
+    weather/MODCOD coupling produces these — see
+    :func:`repro.atmosphere.weather_capacity.edge_weather_capacity_factors`);
+    a factor of 0 marks the link down, and flows pinned to it get zero.
+    ``pair_weights`` (one positive entry per pair) switches to weighted
+    max-min fairness: each pair's sub-flows grow proportionally to its
+    weight — how a demand matrix (e.g. gravity-model population
+    products) maps onto the allocator.
+    """
+    capacities = capacities or LinkCapacities()
+    allocator = allocator or max_min_fair_allocation
+    if routing is None:
+        routing = route_traffic(graph, pairs, k)
+    elif routing.graph is not graph:
+        raise ValueError("precomputed routing belongs to a different graph")
+    if not routing.subflows:
+        allocation = MaxMinResult(
+            rates=np.empty(0),
+            link_loads=np.zeros(graph.num_edges),
+            bottleneck_rounds=0,
+        )
+        return ThroughputResult(routing=routing, allocation=allocation, capacities=capacities)
+    edge_caps = graph.edge_capacities(capacities)
+    if edge_capacity_factors is not None:
+        factors = np.asarray(edge_capacity_factors, dtype=float)
+        if factors.shape != edge_caps.shape:
+            raise ValueError("edge_capacity_factors must match the edge count")
+        if np.any(factors < 0):
+            raise ValueError("edge_capacity_factors must be non-negative")
+        # Keep capacities strictly positive: a hard zero would make the
+        # max-min instance degenerate; epsilon capacity starves the flow
+        # to numerically-zero rate instead.
+        edge_caps = np.maximum(edge_caps * factors, 1e-6)
+    if satellite_radio_cap_bps is not None:
+        if satellite_radio_cap_bps <= 0:
+            raise ValueError("satellite_radio_cap_bps must be positive")
+        flow_lists, edge_caps = _with_satellite_cap(
+            graph, routing, edge_caps, satellite_radio_cap_bps
+        )
+    else:
+        flow_lists = routing.flow_edge_lists()
+    if pair_weights is not None:
+        pair_weights = np.asarray(pair_weights, dtype=float)
+        if len(pair_weights) != len(pairs):
+            raise ValueError("pair_weights must have one entry per pair")
+        subflow_weights = np.array(
+            [pair_weights[sf.pair_index] for sf in routing.subflows]
+        )
+        allocation = allocator(flow_lists, edge_caps, weights=subflow_weights)
+    else:
+        allocation = allocator(flow_lists, edge_caps)
+    return ThroughputResult(routing=routing, allocation=allocation, capacities=capacities)

@@ -1,0 +1,84 @@
+"""Latitude/longitude grids and city-proximity grid selection.
+
+Supports the paper's relay-GT placement rule: transit-only GTs sit on a
+uniform 0.5-degree lat/lon grid, on land, within 2,000 km of one of the
+1,000 source/sink cities (Section 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import EARTH_RADIUS
+from repro.geo.geodesy import unit_vectors
+from repro.geo.landmask import is_land
+
+__all__ = ["global_grid", "grid_points_near", "land_grid_points_near"]
+
+
+def global_grid(spacing_deg: float):
+    """All grid points at ``spacing_deg``, as ``(lats, lons)`` flat arrays.
+
+    Latitudes span (-90, 90) exclusive (poles are degenerate); longitudes
+    span [-180, 180).
+    """
+    if spacing_deg <= 0:
+        raise ValueError("spacing_deg must be positive")
+    lats = np.arange(-90.0 + spacing_deg, 90.0, spacing_deg)
+    lons = np.arange(-180.0, 180.0, spacing_deg)
+    lat_grid, lon_grid = np.meshgrid(lats, lons, indexing="ij")
+    return lat_grid.ravel(), lon_grid.ravel()
+
+
+def grid_points_near(
+    centre_lats,
+    centre_lons,
+    radius_m: float,
+    spacing_deg: float,
+):
+    """Grid points within ``radius_m`` of *any* centre point.
+
+    Vectorized: unit vectors for grid points and centres are compared by
+    dot product against ``cos(radius / R)``, processed in centre-chunks to
+    bound memory. Returns ``(lats, lons)`` of the selected grid points.
+    """
+    grid_lats, grid_lons = global_grid(spacing_deg)
+    centre_lats = np.atleast_1d(np.asarray(centre_lats, dtype=float))
+    centre_lons = np.atleast_1d(np.asarray(centre_lons, dtype=float))
+    if len(centre_lats) == 0:
+        return grid_lats[:0], grid_lons[:0]
+
+    # Cheap latitude prefilter: a point further than the radius in latitude
+    # alone cannot be within range of any centre.
+    radius_deg = np.degrees(radius_m / EARTH_RADIUS)
+    lat_lo = centre_lats.min() - radius_deg
+    lat_hi = centre_lats.max() + radius_deg
+    keep = (grid_lats >= lat_lo) & (grid_lats <= lat_hi)
+    grid_lats, grid_lons = grid_lats[keep], grid_lons[keep]
+
+    grid_vecs = unit_vectors(grid_lats, grid_lons)
+    centre_vecs = unit_vectors(centre_lats, centre_lons)
+    cos_threshold = np.cos(radius_m / EARTH_RADIUS)
+
+    selected = np.zeros(len(grid_lats), dtype=bool)
+    chunk = max(1, int(5e7 // max(len(grid_lats), 1)))
+    for start in range(0, len(centre_vecs), chunk):
+        block = centre_vecs[start : start + chunk]
+        undecided = ~selected
+        if not undecided.any():
+            break
+        dots = grid_vecs[undecided] @ block.T
+        selected[undecided] |= (dots >= cos_threshold).any(axis=1)
+    return grid_lats[selected], grid_lons[selected]
+
+
+def land_grid_points_near(
+    centre_lats,
+    centre_lons,
+    radius_m: float,
+    spacing_deg: float,
+):
+    """Like :func:`grid_points_near`, restricted to land points."""
+    lats, lons = grid_points_near(centre_lats, centre_lons, radius_m, spacing_deg)
+    on_land = is_land(lats, lons)
+    return lats[on_land], lons[on_land]

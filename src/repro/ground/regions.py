@@ -1,0 +1,115 @@
+"""Country-to-continent mapping for regional aggregation.
+
+Used to answer "who benefits most from ISLs": pairs are grouped by the
+continent pair of their endpoints, so latency/throughput deltas can be
+reported per corridor (e.g. South America <-> Africa, the Fig. 3
+corridor, benefits far more than intra-Asia traffic).
+"""
+
+from __future__ import annotations
+
+__all__ = ["CONTINENTS", "continent_of", "corridor_name"]
+
+#: Continent labels used throughout.
+CONTINENTS = (
+    "Africa",
+    "Asia",
+    "Europe",
+    "North America",
+    "Oceania",
+    "South America",
+)
+
+_COUNTRY_TO_CONTINENT: dict[str, str] = {
+    # Asia
+    "Japan": "Asia", "China": "Asia", "Taiwan": "Asia", "South Korea": "Asia",
+    "North Korea": "Asia", "Mongolia": "Asia", "Indonesia": "Asia",
+    "Philippines": "Asia", "Thailand": "Asia", "Vietnam": "Asia",
+    "Singapore": "Asia", "Malaysia": "Asia", "Myanmar": "Asia",
+    "Cambodia": "Asia", "Laos": "Asia", "India": "Asia", "Pakistan": "Asia",
+    "Bangladesh": "Asia", "Sri Lanka": "Asia", "Nepal": "Asia",
+    "Bhutan": "Asia", "Afghanistan": "Asia", "Iran": "Asia", "Iraq": "Asia",
+    "Saudi Arabia": "Asia", "UAE": "Asia", "Kuwait": "Asia", "Qatar": "Asia",
+    "Bahrain": "Asia", "Oman": "Asia", "Yemen": "Asia", "Jordan": "Asia",
+    "Syria": "Asia", "Lebanon": "Asia", "Israel": "Asia", "Palestine": "Asia",
+    "Turkey": "Asia", "Azerbaijan": "Asia", "Georgia": "Asia",
+    "Armenia": "Asia", "Uzbekistan": "Asia", "Kazakhstan": "Asia",
+    "Kyrgyzstan": "Asia", "Tajikistan": "Asia", "Turkmenistan": "Asia",
+    # Europe (Russia spans both; its listed cities are mostly European
+    # and intercontinental routing treats it as one landmass anyway).
+    "Russia": "Europe", "Ukraine": "Europe", "Belarus": "Europe",
+    "UK": "Europe", "Ireland": "Europe", "France": "Europe",
+    "Germany": "Europe", "Netherlands": "Europe", "Belgium": "Europe",
+    "Luxembourg": "Europe", "Switzerland": "Europe", "Austria": "Europe",
+    "Czechia": "Europe", "Poland": "Europe", "Hungary": "Europe",
+    "Slovakia": "Europe", "Romania": "Europe", "Bulgaria": "Europe",
+    "Serbia": "Europe", "Croatia": "Europe", "Bosnia": "Europe",
+    "North Macedonia": "Europe", "Albania": "Europe", "Greece": "Europe",
+    "Moldova": "Europe", "Lithuania": "Europe", "Latvia": "Europe",
+    "Estonia": "Europe", "Finland": "Europe", "Sweden": "Europe",
+    "Norway": "Europe", "Denmark": "Europe", "Iceland": "Europe",
+    "Spain": "Europe", "Portugal": "Europe", "Italy": "Europe",
+    "Malta": "Europe", "Cyprus": "Europe", "Slovenia": "Europe",
+    "Montenegro": "Europe", "Kosovo": "Europe",
+    # Africa
+    "Egypt": "Africa", "Nigeria": "Africa", "DR Congo": "Africa",
+    "Angola": "Africa", "South Africa": "Africa", "Kenya": "Africa",
+    "Tanzania": "Africa", "Ethiopia": "Africa", "Sudan": "Africa",
+    "South Sudan": "Africa", "Ghana": "Africa", "Ivory Coast": "Africa",
+    "Senegal": "Africa", "Mali": "Africa", "Guinea": "Africa",
+    "Guinea-Bissau": "Africa", "Gambia": "Africa",
+    "Burkina Faso": "Africa", "Niger": "Africa", "Chad": "Africa",
+    "Uganda": "Africa", "Rwanda": "Africa", "Burundi": "Africa",
+    "Zambia": "Africa", "Zimbabwe": "Africa", "Mozambique": "Africa",
+    "Madagascar": "Africa", "Morocco": "Africa", "Algeria": "Africa",
+    "Tunisia": "Africa", "Libya": "Africa", "Somalia": "Africa",
+    "Djibouti": "Africa", "Eritrea": "Africa", "Gabon": "Africa",
+    "Cameroon": "Africa", "Congo": "Africa", "Togo": "Africa",
+    "Benin": "Africa", "Liberia": "Africa", "Sierra Leone": "Africa",
+    "Mauritania": "Africa", "Namibia": "Africa", "Botswana": "Africa",
+    "Malawi": "Africa", "CAR": "Africa", "Mauritius": "Africa",
+    "Eswatini": "Africa", "Lesotho": "Africa",
+    # North & Central America, Caribbean
+    "USA": "North America", "Canada": "North America",
+    "Mexico": "North America", "Guatemala": "North America",
+    "El Salvador": "North America", "Honduras": "North America",
+    "Nicaragua": "North America", "Costa Rica": "North America",
+    "Panama": "North America", "Cuba": "North America",
+    "Dominican Republic": "North America", "Haiti": "North America",
+    "Jamaica": "North America", "Puerto Rico": "North America",
+    "Trinidad": "North America", "Barbados": "North America",
+    "Bahamas": "North America",
+    # South America
+    "Brazil": "South America", "Argentina": "South America",
+    "Chile": "South America", "Peru": "South America",
+    "Colombia": "South America", "Venezuela": "South America",
+    "Ecuador": "South America", "Bolivia": "South America",
+    "Paraguay": "South America", "Uruguay": "South America",
+    "Guyana": "South America", "Suriname": "South America",
+    "French Guiana": "South America",
+    # Oceania
+    "Australia": "Oceania", "New Zealand": "Oceania",
+    "Papua New Guinea": "Oceania", "Fiji": "Oceania",
+    "New Caledonia": "Oceania",
+}
+
+
+def continent_of(country: str) -> str:
+    """Continent of a country name as used in the city table.
+
+    Raises ``KeyError`` for unknown countries so dataset drift is caught
+    by the test suite rather than silently bucketed.
+    """
+    try:
+        return _COUNTRY_TO_CONTINENT[country]
+    except KeyError:
+        raise KeyError(f"no continent mapping for country {country!r}") from None
+
+
+def corridor_name(continent_a: str, continent_b: str) -> str:
+    """Canonical (sorted) name for a continent pair, e.g. intercontinental
+    corridors like ``"Africa - South America"``."""
+    first, second = sorted([continent_a, continent_b])
+    if first == second:
+        return f"intra-{first}"
+    return f"{first} - {second}"

@@ -1,0 +1,56 @@
+"""Transit-only relay GT placement (paper Section 3).
+
+Relay GTs sit on a uniform lat/lon grid (default 0.5 degrees — the
+densest deployment tested by the prior work the paper benchmarks against),
+restricted to land, within a radius (default 2,000 km) of any of the
+source/sink cities. The result is cached per parameter set because the
+full-scale grid has tens of thousands of points and is reused by every
+snapshot.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable
+
+import numpy as np
+
+from repro.constants import RELAY_GRID_SPACING_DEG, RELAY_RADIUS_M
+from repro.geo.grid import land_grid_points_near
+from repro.ground.cities import City
+
+__all__ = ["relay_grid_for_cities", "relay_grid"]
+
+
+def relay_grid_for_cities(
+    cities: Iterable[City],
+    spacing_deg: float = RELAY_GRID_SPACING_DEG,
+    radius_m: float = RELAY_RADIUS_M,
+):
+    """Relay grid ``(lats, lons)`` for an explicit city collection."""
+    cities = tuple(cities)
+    key = (
+        tuple((c.lat_deg, c.lon_deg) for c in cities),
+        float(spacing_deg),
+        float(radius_m),
+    )
+    return _cached_grid(key)
+
+
+@lru_cache(maxsize=8)
+def _cached_grid(key):
+    city_coords, spacing_deg, radius_m = key
+    lats = np.array([lat for lat, _ in city_coords])
+    lons = np.array([lon for _, lon in city_coords])
+    return land_grid_points_near(lats, lons, radius_m, spacing_deg)
+
+
+def relay_grid(
+    num_cities: int = 1000,
+    spacing_deg: float = RELAY_GRID_SPACING_DEG,
+    radius_m: float = RELAY_RADIUS_M,
+):
+    """Relay grid for the standard top-``num_cities`` city set."""
+    from repro.ground.cities import load_cities
+
+    return relay_grid_for_cities(load_cities(num_cities), spacing_deg, radius_m)

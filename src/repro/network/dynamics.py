@@ -1,0 +1,192 @@
+"""Network dynamics: satellite passes and path churn.
+
+Quantifies two statements the paper makes in passing:
+
+* Section 2: "Each satellite is reachable from a GT for a few minutes,
+  after which the GT must connect to a different satellite" — the pass
+  duration, both analytically and empirically;
+* Section 4: "end-to-end paths and their latencies change continually" —
+  the per-snapshot churn of shortest paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import EARTH_ROTATION_RATE
+from repro.orbits.constellation import Shell
+from repro.orbits.coordinates import geodetic_to_ecef
+from repro.orbits.kepler import mean_motion_rad_s
+from repro.orbits.visibility import coverage_central_angle_rad, elevation_deg
+
+__all__ = [
+    "max_pass_duration_s",
+    "empirical_pass_durations_s",
+    "path_jaccard",
+    "churn_between",
+    "gt_handover_stats",
+]
+
+
+def max_pass_duration_s(shell: Shell) -> float:
+    """Analytic upper bound on a GT's visibility window for one satellite.
+
+    A zenith-crossing pass sweeps the full coverage cone: central angle
+    ``2 * psi``. The satellite's angular rate relative to the rotating
+    Earth is approximately ``n - omega_e * cos(i)`` along-track, giving
+
+        T_max ~ 2 * psi / (n - omega_e * cos(i))
+
+    For Starlink's shell this evaluates to ~4.7 minutes — the paper's
+    "a few minutes".
+    """
+    psi = coverage_central_angle_rad(shell.altitude_m, shell.min_elevation_deg)
+    n = mean_motion_rad_s(shell.altitude_m)
+    relative_rate = n - EARTH_ROTATION_RATE * np.cos(
+        np.radians(shell.inclination_deg)
+    )
+    return float(2.0 * psi / relative_rate)
+
+
+def empirical_pass_durations_s(
+    shell: Shell,
+    gt_lat_deg: float,
+    gt_lon_deg: float,
+    duration_s: float = 7200.0,
+    step_s: float = 10.0,
+) -> np.ndarray:
+    """Measured lengths of every completed visibility window, seconds.
+
+    Propagates the whole shell over ``duration_s`` at ``step_s``
+    resolution and extracts contiguous above-minimum-elevation intervals
+    per satellite from a fixed GT. Windows clipped by the simulation
+    boundary are discarded (their true length is unknown).
+    """
+    if step_s <= 0 or duration_s <= 0:
+        raise ValueError("duration_s and step_s must be positive")
+    gt = geodetic_to_ecef(gt_lat_deg, gt_lon_deg, 0.0)
+    times = np.arange(0.0, duration_s + step_s, step_s)
+    visible = np.zeros((len(times), shell.num_satellites), dtype=bool)
+    for i, t in enumerate(times):
+        sats = shell.positions_ecef(float(t))
+        visible[i] = elevation_deg(gt[None, :], sats) >= shell.min_elevation_deg
+
+    durations = []
+    for sat in range(shell.num_satellites):
+        column = visible[:, sat]
+        # Find rising/falling edges; drop boundary-clipped windows.
+        padded = np.concatenate([[False], column, [False]])
+        rises = np.nonzero(~padded[:-1] & padded[1:])[0]
+        falls = np.nonzero(padded[:-1] & ~padded[1:])[0]
+        for rise, fall in zip(rises, falls):
+            if rise == 0 or fall == len(column):
+                continue  # Clipped at the simulation boundary.
+            durations.append((fall - rise) * step_s)
+    return np.asarray(durations, dtype=float)
+
+
+def gt_handover_stats(
+    shell: Shell,
+    gt_lat_deg: float,
+    gt_lon_deg: float,
+    duration_s: float = 7200.0,
+    step_s: float = 10.0,
+    policy: str = "sticky",
+) -> dict:
+    """Serving-satellite handover behaviour of one GT under a policy.
+
+    Policies:
+
+    * ``"sticky"`` — keep the current satellite while it stays visible,
+      then switch to the highest-elevation one (minimizes handovers;
+      the handover interval approaches the pass duration);
+    * ``"max_elevation"`` — always track the best satellite (maximizes
+      link quality; hands over far more often).
+
+    Returns handovers per hour, mean dwell per satellite, and the
+    fraction of steps with no satellite at all (coverage gaps).
+    """
+    if policy not in ("sticky", "max_elevation"):
+        raise ValueError(f"unknown handover policy {policy!r}")
+    if step_s <= 0 or duration_s <= 0:
+        raise ValueError("duration_s and step_s must be positive")
+    gt = geodetic_to_ecef(gt_lat_deg, gt_lon_deg, 0.0)
+    times = np.arange(0.0, duration_s + step_s, step_s)
+
+    current: int | None = None
+    handovers = 0
+    gaps = 0
+    dwell_steps: list[int] = []
+    steps_on_current = 0
+    for t in times:
+        sats = shell.positions_ecef(float(t))
+        elevations = elevation_deg(gt[None, :], sats)
+        visible = elevations >= shell.min_elevation_deg
+        if not visible.any():
+            if current is not None:
+                dwell_steps.append(steps_on_current)
+                steps_on_current = 0
+            current = None
+            gaps += 1
+            continue
+        best = int(np.argmax(elevations))
+        if current is None:
+            current = best
+            steps_on_current = 1
+        elif policy == "sticky" and visible[current]:
+            steps_on_current += 1
+        elif best != current:
+            handovers += 1
+            dwell_steps.append(steps_on_current)
+            current = best
+            steps_on_current = 1
+        else:
+            steps_on_current += 1
+    if steps_on_current:
+        dwell_steps.append(steps_on_current)
+
+    hours = duration_s / 3600.0
+    return {
+        "handovers_per_hour": handovers / hours,
+        "mean_dwell_s": float(np.mean(dwell_steps)) * step_s if dwell_steps else 0.0,
+        "coverage_gap_fraction": gaps / len(times),
+        "handovers": handovers,
+    }
+
+
+def path_jaccard(path_a, path_b) -> float:
+    """Jaccard similarity of two paths' node sets (1 = identical)."""
+    set_a, set_b = set(path_a), set(path_b)
+    if not set_a and not set_b:
+        return 1.0
+    return len(set_a & set_b) / len(set_a | set_b)
+
+
+def churn_between(paths_before, paths_after) -> dict:
+    """Churn statistics between two snapshots' path lists.
+
+    Both lists are indexed by pair; ``None`` marks unreachable. Returns
+    mean/median (1 - Jaccard) over pairs routed at both snapshots, plus
+    the fraction of pairs whose path changed at all.
+    """
+    dissimilarities = []
+    changed = 0
+    compared = 0
+    for before, after in zip(paths_before, paths_after):
+        if before is None or after is None:
+            continue
+        compared += 1
+        similarity = path_jaccard(before, after)
+        dissimilarities.append(1.0 - similarity)
+        if tuple(before) != tuple(after):
+            changed += 1
+    if not compared:
+        return {"compared": 0, "mean_churn": float("nan"),
+                "median_churn": float("nan"), "changed_fraction": float("nan")}
+    values = np.asarray(dissimilarities)
+    return {
+        "compared": compared,
+        "mean_churn": float(values.mean()),
+        "median_churn": float(np.median(values)),
+        "changed_fraction": changed / compared,
+    }

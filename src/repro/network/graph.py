@@ -1,0 +1,441 @@
+"""Snapshot network graphs: satellites + GTs + (optionally) ISLs.
+
+This is the heart of the simulator. For one time snapshot it builds the
+graph the paper routes over:
+
+* node ids ``[0, num_sats)`` are satellites (the constellation's flat
+  index space), ``[num_sats, num_sats + num_gts)`` are GTs in station-
+  table order (cities, relays, aircraft);
+* GT-satellite edges exist when the satellite is above the GT's minimum
+  elevation (equivalently: the GT lies in the satellite's coverage cone);
+* ISL edges (hybrid/ISL-only modes) follow the +Grid topology.
+
+Edge discovery is vectorized: GT unit vectors go into a KD-tree once and
+each shell queries it with its coverage cone's chord radius.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import csgraph
+from scipy.spatial import cKDTree
+
+from repro.constants import EARTH_RADIUS, SPEED_OF_LIGHT
+from repro.network.fiber import city_fiber_edges
+from repro.network.links import LinkCapacities, LinkKind
+from repro.network.topology import constellation_isl_edges, isl_lengths_m
+from repro.orbits.constellation import Constellation
+from repro.orbits.coordinates import geodetic_to_ecef
+from repro.orbits.visibility import (
+    coverage_central_angle_rad,
+    gso_arc_directions_enu,
+)
+from repro.ground.stations import StationTable
+
+__all__ = [
+    "ConnectivityMode",
+    "GsoProtectionPolicy",
+    "SnapshotGraph",
+    "build_snapshot_graph",
+    "isl_grazing_altitude_m",
+    "gso_compliant_edge_mask",
+]
+
+#: Edge-kind codes in the edge table.
+_KIND_GT_SAT = 0
+_KIND_ISL = 1
+_KIND_FIBER = 2
+
+
+@dataclass(frozen=True)
+class GsoProtectionPolicy:
+    """GSO arc-avoidance constraint on GT-satellite links (Section 7).
+
+    When applied, a GT may only use a satellite whose sky direction keeps
+    at least ``min_separation_deg`` angular separation from every visible
+    point of the geostationary arc. ``lat_bin_deg`` controls the
+    precomputation granularity (the arc's ENU geometry depends only on
+    the GT's latitude).
+    """
+
+    min_separation_deg: float
+    lat_bin_deg: float = 1.0
+
+    def __post_init__(self):
+        if self.min_separation_deg < 0:
+            raise ValueError("min_separation_deg must be non-negative")
+        if self.lat_bin_deg <= 0:
+            raise ValueError("lat_bin_deg must be positive")
+
+
+class ConnectivityMode(Enum):
+    """Which link families the network may use (paper Section 3).
+
+    ``BP_ONLY``
+        No ISLs; paths zig-zag between satellites and ground relays.
+    ``HYBRID``
+        Ground hops *and* ISLs; the routing picks freely (the paper's
+        "hybrid" network).
+    ``ISL_ONLY``
+        ISLs plus exactly one up and one down radio hop; used by the
+        Section 6 attenuation analysis, which excludes intermediate GTs.
+        Graph-wise identical to HYBRID (intermediate GT hops are simply
+        never shorter when ISLs exist along the way), but kept distinct
+        so path extraction can assert the no-intermediate-GT property.
+    """
+
+    BP_ONLY = "bp"
+    HYBRID = "hybrid"
+    ISL_ONLY = "isl"
+
+    @property
+    def uses_isls(self) -> bool:
+        return self is not ConnectivityMode.BP_ONLY
+
+
+@dataclass
+class SnapshotGraph:
+    """One time snapshot of the network.
+
+    Edges are undirected and stored once; ``matrix()`` symmetrizes.
+    Distances are metres; ``latency_matrix()`` converts to seconds.
+    """
+
+    time_s: float
+    mode: ConnectivityMode
+    num_sats: int
+    num_gts: int
+    sat_ecef: np.ndarray
+    gt_ecef: np.ndarray
+    edges: np.ndarray  # (m, 2) node ids
+    edge_dist_m: np.ndarray  # (m,)
+    edge_kind: np.ndarray  # (m,) _KIND_GT_SAT | _KIND_ISL
+    stations: StationTable
+
+    _matrix_cache: sparse.csr_matrix | None = None
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_sats + self.num_gts
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def gt_node(self, gt_index: int) -> int:
+        """Graph node id of a GT given its station-table index."""
+        if not 0 <= gt_index < self.num_gts:
+            raise IndexError(f"GT index {gt_index} out of range")
+        return self.num_sats + gt_index
+
+    def is_sat_node(self, node: int) -> bool:
+        """Whether a graph node id denotes a satellite."""
+        return 0 <= node < self.num_sats
+
+    def edge_capacities(self, capacities: LinkCapacities) -> np.ndarray:
+        """Per-edge capacity array for a capacity assignment, bits/s."""
+        caps = np.where(
+            self.edge_kind == _KIND_ISL, capacities.isl_bps, capacities.gt_sat_bps
+        )
+        caps = np.where(self.edge_kind == _KIND_FIBER, capacities.fiber_bps, caps)
+        return caps.astype(float)
+
+    def edge_link_kind(self, edge_index: int) -> LinkKind:
+        """Physical link family of one edge."""
+        code = self.edge_kind[edge_index]
+        if code == _KIND_ISL:
+            return LinkKind.ISL
+        if code == _KIND_FIBER:
+            return LinkKind.FIBER
+        return LinkKind.GT_SAT
+
+    def matrix(self) -> sparse.csr_matrix:
+        """Symmetric CSR distance matrix (metres) over all nodes."""
+        if self._matrix_cache is None:
+            u, v = self.edges[:, 0], self.edges[:, 1]
+            row = np.concatenate([u, v])
+            col = np.concatenate([v, u])
+            data = np.concatenate([self.edge_dist_m, self.edge_dist_m])
+            self._matrix_cache = sparse.csr_matrix(
+                (data, (row, col)), shape=(self.num_nodes, self.num_nodes)
+            )
+        return self._matrix_cache
+
+    def latency_matrix(self) -> sparse.csr_matrix:
+        """Symmetric CSR matrix of one-way propagation delays, seconds."""
+        matrix = self.matrix().copy()
+        matrix.data = matrix.data / SPEED_OF_LIGHT
+        return matrix
+
+    def summary(self) -> dict:
+        """One-glance description of the snapshot (sizes per family)."""
+        return {
+            "time_s": self.time_s,
+            "mode": self.mode.value,
+            "satellites": self.num_sats,
+            "cities": self.stations.city_count,
+            "relays": self.stations.relay_count,
+            "aircraft": self.stations.aircraft_count,
+            "radio_edges": int(np.sum(self.edge_kind == _KIND_GT_SAT)),
+            "isl_edges": int(np.sum(self.edge_kind == _KIND_ISL)),
+            "fiber_edges": int(np.sum(self.edge_kind == _KIND_FIBER)),
+        }
+
+    def to_networkx(self, capacities: LinkCapacities | None = None):
+        """Export the snapshot as a ``networkx.Graph``.
+
+        Node attributes: ``kind`` (``"sat"``/``"city"``/``"relay"``/
+        ``"aircraft"``), plus ``lat``/``lon`` for GTs. Edge attributes:
+        ``dist_m``, ``kind`` and ``capacity_bps``. Intended for users who
+        want to run their own graph analyses; the simulator itself works
+        on the CSR matrix, which is far faster.
+        """
+        import networkx as nx
+
+        capacities = capacities or LinkCapacities()
+        graph = nx.Graph()
+        for sat in range(self.num_sats):
+            graph.add_node(sat, kind="sat")
+        for gt_index in range(self.num_gts):
+            graph.add_node(
+                self.gt_node(gt_index),
+                kind=self.stations.kind_of(gt_index).value,
+                lat=float(self.stations.lats[gt_index]),
+                lon=float(self.stations.lons[gt_index]),
+            )
+        caps = self.edge_capacities(capacities)
+        kind_names = {_KIND_GT_SAT: "gt-sat", _KIND_ISL: "isl", _KIND_FIBER: "fiber"}
+        for i, (u, v) in enumerate(self.edges):
+            graph.add_edge(
+                int(u),
+                int(v),
+                dist_m=float(self.edge_dist_m[i]),
+                kind=kind_names[int(self.edge_kind[i])],
+                capacity_bps=float(caps[i]),
+            )
+        return graph
+
+    def satellite_component_stats(self) -> dict:
+        """Connectivity stats for Section 5's disconnected-satellite count.
+
+        Returns the number of satellites outside the largest connected
+        component ("entirely disconnected from the rest of the network" in
+        BP terms) plus the raw component labelling.
+        """
+        n_components, labels = csgraph.connected_components(
+            self.matrix(), directed=False
+        )
+        sizes = np.bincount(labels, minlength=n_components)
+        giant = int(np.argmax(sizes))
+        sat_labels = labels[: self.num_sats]
+        disconnected = int(np.sum(sat_labels != giant))
+        return {
+            "num_components": int(n_components),
+            "giant_component_size": int(sizes[giant]),
+            "disconnected_satellites": disconnected,
+            "disconnected_fraction": disconnected / max(self.num_sats, 1),
+        }
+
+
+def isl_grazing_altitude_m(orbit_radius_m: float, isl_length_m: float) -> float:
+    """Minimum altitude above Earth's surface along an ISL segment.
+
+    An ISL between two satellites at radius ``r`` separated by chord
+    length ``L`` passes closest to Earth at its midpoint, at distance
+    ``sqrt(r^2 - (L/2)^2)`` from the centre. ISLs must stay above ~80 km
+    to avoid atmospheric effects (paper Section 2).
+    """
+    half = isl_length_m / 2.0
+    if half >= orbit_radius_m:
+        return -EARTH_RADIUS
+    return float(np.sqrt(orbit_radius_m**2 - half**2) - EARTH_RADIUS)
+
+
+def gso_compliant_edge_mask(
+    gt_lats: np.ndarray,
+    gt_lons: np.ndarray,
+    gt_ecef: np.ndarray,
+    sat_ecef: np.ndarray,
+    edge_gt_index: np.ndarray,
+    edge_sat_index: np.ndarray,
+    policy: GsoProtectionPolicy,
+) -> np.ndarray:
+    """Which GT-satellite edges respect the GSO separation policy.
+
+    Vectorized: per-edge ENU sky directions are computed in one shot;
+    the GSO-arc direction sets (latitude-dependent only) are precomputed
+    per latitude bin and compared by dot product.
+    """
+    if len(edge_gt_index) == 0:
+        return np.ones(0, dtype=bool)
+    gt_pos = gt_ecef[edge_gt_index]
+    los = sat_ecef[edge_sat_index] - gt_pos
+    los = los / np.linalg.norm(los, axis=1, keepdims=True)
+
+    lats = np.radians(gt_lats[edge_gt_index])
+    lons = np.radians(gt_lons[edge_gt_index])
+    sin_lat, cos_lat = np.sin(lats), np.cos(lats)
+    sin_lon, cos_lon = np.sin(lons), np.cos(lons)
+    east = np.stack([-sin_lon, cos_lon, np.zeros_like(lons)], axis=1)
+    north = np.stack([-sin_lat * cos_lon, -sin_lat * sin_lon, cos_lat], axis=1)
+    up = np.stack([cos_lat * cos_lon, cos_lat * sin_lon, sin_lat], axis=1)
+    directions = np.stack(
+        [
+            np.sum(los * east, axis=1),
+            np.sum(los * north, axis=1),
+            np.sum(los * up, axis=1),
+        ],
+        axis=1,
+    )
+
+    cos_limit = np.cos(np.radians(policy.min_separation_deg))
+    bins = np.round(gt_lats[edge_gt_index] / policy.lat_bin_deg).astype(int)
+    compliant = np.ones(len(edge_gt_index), dtype=bool)
+    for bin_value in np.unique(bins):
+        arc = gso_arc_directions_enu(bin_value * policy.lat_bin_deg)
+        members = bins == bin_value
+        if len(arc) == 0:
+            continue  # No GSO arc visible: unconstrained.
+        max_cos = np.max(directions[members] @ arc.T, axis=1)
+        compliant[members] = max_cos < cos_limit
+    return compliant
+
+
+def build_snapshot_graph(
+    constellation: Constellation,
+    stations: StationTable,
+    time_s: float,
+    mode: ConnectivityMode = ConnectivityMode.HYBRID,
+    gso_policy: GsoProtectionPolicy | None = None,
+    fiber_max_km: float | None = None,
+    max_gts_per_satellite: int | None = None,
+) -> SnapshotGraph:
+    """Build the network graph for one snapshot.
+
+    GT-satellite visibility uses the spherical coverage-cone condition:
+    a GT may use a satellite when the central angle between the GT and
+    the sub-satellite point is at most the shell's coverage angle. (For
+    aircraft GTs at 11 km the ground-projection approximation shifts the
+    elevation threshold by well under a degree, which is negligible next
+    to the 25-30 degree minimum elevations involved.)
+
+    ``gso_policy`` additionally drops GT-satellite edges violating the
+    Section 7 GSO arc-avoidance separation. ``fiber_max_km`` adds
+    terrestrial fiber edges between city GTs within that distance
+    (Section 8 "distributed GTs"). ``max_gts_per_satellite`` models a
+    finite beam count: each satellite keeps only its N closest GTs (the
+    paper's Section 2 notes satellites "connect simultaneously to
+    multiple GTs using different frequency bands" — the default ``None``
+    matches the paper's unbounded reading; real spot-beam payloads are
+    bounded, which the D8 ablation probes).
+    """
+    sat_ecef = constellation.positions_ecef(time_s)
+    gt_ecef = geodetic_to_ecef(stations.lats, stations.lons, stations.altitudes)
+    num_sats = len(sat_ecef)
+    num_gts = len(gt_ecef)
+
+    gt_units = geodetic_to_ecef(stations.lats, stations.lons, 0.0) / EARTH_RADIUS
+    tree = cKDTree(gt_units)
+
+    edge_u: list[np.ndarray] = []
+    edge_v: list[np.ndarray] = []
+    offsets = constellation.shell_offsets()
+    for offset, shell in zip(offsets, constellation.shells):
+        psi = coverage_central_angle_rad(shell.altitude_m, shell.min_elevation_deg)
+        chord = 2.0 * np.sin(psi / 2.0)
+        shell_sats = sat_ecef[offset : offset + shell.num_satellites]
+        sat_units = shell_sats / np.linalg.norm(shell_sats, axis=1, keepdims=True)
+        neighbour_lists = tree.query_ball_point(sat_units, r=chord)
+        for local_idx, gt_indices in enumerate(neighbour_lists):
+            if not gt_indices:
+                continue
+            gts = np.asarray(gt_indices, dtype=np.int64)
+            edge_u.append(np.full(len(gts), offset + local_idx, dtype=np.int64))
+            edge_v.append(gts + num_sats)
+
+    if edge_u:
+        u = np.concatenate(edge_u)
+        v = np.concatenate(edge_v)
+    else:
+        u = np.empty(0, dtype=np.int64)
+        v = np.empty(0, dtype=np.int64)
+    gt_sat_edges = np.stack([u, v], axis=1)
+
+    if gso_policy is not None and len(gt_sat_edges):
+        compliant = gso_compliant_edge_mask(
+            stations.lats,
+            stations.lons,
+            gt_ecef,
+            sat_ecef,
+            gt_sat_edges[:, 1] - num_sats,
+            gt_sat_edges[:, 0],
+            gso_policy,
+        )
+        gt_sat_edges = gt_sat_edges[compliant]
+
+    gt_sat_dists = np.linalg.norm(
+        sat_ecef[gt_sat_edges[:, 0]] - gt_ecef[gt_sat_edges[:, 1] - num_sats], axis=1
+    ) if len(gt_sat_edges) else np.empty(0)
+
+    if max_gts_per_satellite is not None and len(gt_sat_edges):
+        if max_gts_per_satellite < 1:
+            raise ValueError("max_gts_per_satellite must be >= 1")
+        # Per satellite, keep the N closest GTs (slant distance). Stable
+        # lexsort by (satellite, distance), then rank within satellite.
+        order = np.lexsort((gt_sat_dists, gt_sat_edges[:, 0]))
+        sorted_sats = gt_sat_edges[order, 0]
+        # Rank of each entry within its satellite group.
+        group_start = np.concatenate(
+            [[0], np.nonzero(np.diff(sorted_sats))[0] + 1]
+        )
+        ranks = np.arange(len(order))
+        ranks = ranks - np.repeat(
+            group_start, np.diff(np.concatenate([group_start, [len(order)]]))
+        )
+        keep_sorted = ranks < max_gts_per_satellite
+        keep = np.zeros(len(gt_sat_edges), dtype=bool)
+        keep[order[keep_sorted]] = True
+        gt_sat_edges = gt_sat_edges[keep]
+        gt_sat_dists = gt_sat_dists[keep]
+
+    edge_blocks = [gt_sat_edges.reshape(-1, 2)]
+    dist_blocks = [gt_sat_dists]
+    kind_blocks = [np.full(len(gt_sat_edges), _KIND_GT_SAT, dtype=np.int8)]
+
+    if mode.uses_isls:
+        isl_edges = constellation_isl_edges(constellation)
+        edge_blocks.append(isl_edges)
+        dist_blocks.append(isl_lengths_m(isl_edges, sat_ecef))
+        kind_blocks.append(np.full(len(isl_edges), _KIND_ISL, dtype=np.int8))
+
+    if fiber_max_km is not None and stations.city_count >= 2:
+        city_edges, fiber_dists = city_fiber_edges(
+            stations.lats[: stations.city_count],
+            stations.lons[: stations.city_count],
+            fiber_max_km,
+        )
+        if len(city_edges):
+            edge_blocks.append(city_edges + num_sats)
+            dist_blocks.append(fiber_dists)
+            kind_blocks.append(np.full(len(city_edges), _KIND_FIBER, dtype=np.int8))
+
+    edges = np.vstack(edge_blocks)
+    dists = np.concatenate(dist_blocks)
+    kinds = np.concatenate(kind_blocks)
+
+    return SnapshotGraph(
+        time_s=time_s,
+        mode=mode,
+        num_sats=num_sats,
+        num_gts=num_gts,
+        sat_ecef=sat_ecef,
+        gt_ecef=gt_ecef,
+        edges=edges,
+        edge_dist_m=dists,
+        edge_kind=kinds,
+        stations=stations,
+    )

@@ -1,0 +1,116 @@
+"""MODCOD: weather-adaptive link capacity (paper Section 6 follow-through).
+
+The paper notes that higher attenuation "has to be dealt with by
+appropriate design for modulation and error correction schemes (MODCOD)
+and trades off bandwidth for reliability" — but never closes the loop to
+throughput. This module does: it maps a link's available Es/N0 to a
+DVB-S2(X)-style spectral efficiency and hence derates the 20 Gbps
+clear-sky radio capacity under weather.
+
+Model
+-----
+Each GT-satellite link is budgeted to hit the *reference* MODCOD at
+clear sky with ``CLEAR_SKY_MARGIN_DB`` of headroom. Atmospheric
+attenuation eats the margin dB-for-dB; the ACM loop then drops to the
+best MODCOD whose threshold still closes. Capacity scales with spectral
+efficiency relative to the reference point.
+
+The MODCOD table lists (Es/N0 threshold dB, spectral efficiency
+bit/s/Hz) pairs in the DVB-S2/S2X range — exact enough for the
+*relative* throughput question we ask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "MODCOD_TABLE",
+    "CLEAR_SKY_MARGIN_DB",
+    "spectral_efficiency",
+    "weather_capacity_factor",
+]
+
+#: (Es/N0 threshold dB, spectral efficiency bits/s/Hz), ascending.
+#: Subset of the DVB-S2 / S2X operating points.
+MODCOD_TABLE: tuple[tuple[float, float], ...] = (
+    (-2.35, 0.490),   # QPSK 1/4
+    (-1.24, 0.656),   # QPSK 1/3
+    (-0.30, 0.789),   # QPSK 2/5
+    (1.00, 0.988),    # QPSK 1/2
+    (2.23, 1.188),    # QPSK 3/5
+    (3.10, 1.322),    # QPSK 2/3
+    (4.03, 1.487),    # QPSK 3/4
+    (4.68, 1.587),    # QPSK 4/5
+    (5.18, 1.654),    # QPSK 5/6
+    (6.20, 1.766),    # QPSK 8/9
+    (6.42, 1.789),    # QPSK 9/10
+    (5.50, 1.780),    # 8PSK 3/5 (kept monotone below)
+    (6.62, 1.980),    # 8PSK 2/3
+    (7.91, 2.228),    # 8PSK 3/4
+    (9.35, 2.479),    # 8PSK 5/6
+    (10.69, 2.646),   # 8PSK 8/9
+    (10.98, 2.679),   # 8PSK 9/10
+    (8.97, 2.637),    # 16APSK 2/3 (kept monotone below)
+    (10.21, 2.967),   # 16APSK 3/4
+    (11.03, 3.166),   # 16APSK 4/5
+    (11.61, 3.300),   # 16APSK 5/6
+    (12.89, 3.523),   # 16APSK 8/9
+    (13.13, 3.567),   # 16APSK 9/10
+    (12.73, 3.703),   # 32APSK 3/4
+    (13.64, 3.952),   # 32APSK 4/5
+    (14.28, 4.120),   # 32APSK 5/6
+    (15.69, 4.398),   # 32APSK 8/9
+    (16.05, 4.453),   # 32APSK 9/10
+    (17.5, 4.937),    # 64APSK 5/6 (S2X)
+    (19.57, 5.901),   # 256APSK 3/4 (S2X)
+)
+
+#: Clear-sky margin over the reference MODCOD threshold, dB. Ku-band
+#: consumer links are typically budgeted with a handful of dB of rain
+#: margin; 4 dB is a middle-of-the-road assumption.
+CLEAR_SKY_MARGIN_DB = 4.0
+
+#: Reference operating point at clear sky (Es/N0 dB the budget achieves
+#: *minus* the margin picks the MODCOD). 13.13 dB -> 16APSK 9/10, a
+#: realistic high-throughput Ku point.
+CLEAR_SKY_ESN0_DB = 13.13 + CLEAR_SKY_MARGIN_DB
+
+
+def _monotone_table() -> tuple[np.ndarray, np.ndarray]:
+    """Thresholds and the best efficiency achievable at each threshold.
+
+    The raw table interleaves modulation families, so efficiency is not
+    monotone in threshold; ACM always picks the most efficient MODCOD
+    that closes, i.e. the running maximum after sorting by threshold.
+    """
+    table = sorted(MODCOD_TABLE)
+    thresholds = np.array([t for t, _ in table])
+    efficiencies = np.maximum.accumulate(np.array([e for _, e in table]))
+    return thresholds, efficiencies
+
+
+_THRESHOLDS, _EFFICIENCIES = _monotone_table()
+
+
+def spectral_efficiency(esn0_db) -> np.ndarray:
+    """Best spectral efficiency (bit/s/Hz) at the given Es/N0, 0 if none.
+
+    Vectorized; below the most robust MODCOD's threshold the link is
+    considered down (efficiency 0).
+    """
+    esn0 = np.asarray(esn0_db, dtype=float)
+    index = np.searchsorted(_THRESHOLDS, esn0, side="right") - 1
+    result = np.where(index >= 0, _EFFICIENCIES[np.maximum(index, 0)], 0.0)
+    return result
+
+
+def weather_capacity_factor(attenuation_db) -> np.ndarray:
+    """Capacity derating factor for a link under ``attenuation_db``.
+
+    1.0 at clear sky; decreasing stepwise as the ACM loop drops MODCODs;
+    0.0 once even the most robust MODCOD fails to close.
+    """
+    clear = spectral_efficiency(CLEAR_SKY_ESN0_DB)
+    effective = CLEAR_SKY_ESN0_DB - np.asarray(attenuation_db, dtype=float)
+    return spectral_efficiency(effective) / clear

@@ -1,0 +1,57 @@
+"""Snapshot time series: build the network graph at the paper's cadence.
+
+The paper simulates one day at 15-minute snapshots (96 graphs). This
+module drives that loop, rebuilding the GT table (aircraft move) and the
+satellite geometry per snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.constants import NUM_SNAPSHOTS_PER_DAY, SNAPSHOT_INTERVAL_S
+from repro.ground.stations import GroundSegment
+from repro.network.graph import ConnectivityMode, SnapshotGraph, build_snapshot_graph
+from repro.orbits.constellation import Constellation
+
+__all__ = ["SnapshotSeries", "snapshot_times"]
+
+
+def snapshot_times(
+    num_snapshots: int = NUM_SNAPSHOTS_PER_DAY,
+    interval_s: float = SNAPSHOT_INTERVAL_S,
+    start_s: float = 0.0,
+) -> np.ndarray:
+    """Snapshot epoch offsets in seconds (default: the paper's 96 x 15 min)."""
+    if num_snapshots < 1:
+        raise ValueError("num_snapshots must be >= 1")
+    if interval_s <= 0:
+        raise ValueError("interval_s must be positive")
+    return start_s + interval_s * np.arange(num_snapshots)
+
+
+@dataclass(frozen=True)
+class SnapshotSeries:
+    """Lazy sequence of snapshot graphs for a scenario."""
+
+    constellation: Constellation
+    ground: GroundSegment
+    mode: ConnectivityMode
+    times_s: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.times_s)
+
+    def graph_at(self, time_s: float) -> SnapshotGraph:
+        """Build the graph for an arbitrary time (not cached)."""
+        stations = self.ground.stations_at(time_s)
+        return build_snapshot_graph(
+            self.constellation, stations, time_s, self.mode
+        )
+
+    def __iter__(self) -> Iterator[SnapshotGraph]:
+        for time_s in self.times_s:
+            yield self.graph_at(float(time_s))

@@ -1,0 +1,104 @@
+"""Coverage analysis: how many satellites serve a place, and where.
+
+The inclined-shell designs the paper studies concentrate satellites near
+their inclination latitude: a GT at 50-53 degrees sees many Starlink
+satellites, an equatorial GT fewer, and nothing flies above ~61 degrees
+(inclination + coverage radius). These profiles explain several of the
+paper's effects — e.g. why Paris (Fig. 11) sees ~20 satellites while an
+equatorial metro sees a handful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import EARTH_RADIUS
+from repro.orbits.constellation import Constellation
+from repro.orbits.coordinates import geodetic_to_ecef
+from repro.orbits.visibility import coverage_central_angle_rad
+
+__all__ = [
+    "visible_satellite_counts",
+    "latitude_coverage_profile",
+    "max_served_latitude_deg",
+]
+
+
+def visible_satellite_counts(
+    constellation: Constellation,
+    lats_deg,
+    lons_deg,
+    time_s: float,
+) -> np.ndarray:
+    """Number of usable satellites above each ground point at ``time_s``.
+
+    Vectorized over points using the coverage-cone dot-product test (the
+    same criterion the snapshot-graph builder applies).
+    """
+    lats = np.atleast_1d(np.asarray(lats_deg, dtype=float))
+    lons = np.atleast_1d(np.asarray(lons_deg, dtype=float))
+    gt_units = geodetic_to_ecef(lats, lons, 0.0) / EARTH_RADIUS
+
+    counts = np.zeros(len(lats), dtype=int)
+    offset = 0
+    sat_ecef = constellation.positions_ecef(time_s)
+    for shell in constellation.shells:
+        shell_sats = sat_ecef[offset : offset + shell.num_satellites]
+        offset += shell.num_satellites
+        sat_units = shell_sats / np.linalg.norm(shell_sats, axis=1, keepdims=True)
+        cos_threshold = np.cos(
+            coverage_central_angle_rad(shell.altitude_m, shell.min_elevation_deg)
+        )
+        dots = gt_units @ sat_units.T
+        counts += np.sum(dots >= cos_threshold, axis=1)
+    return counts
+
+
+def latitude_coverage_profile(
+    constellation: Constellation,
+    times_s,
+    lat_step_deg: float = 5.0,
+    num_lon_samples: int = 24,
+) -> dict:
+    """Mean/min satellites in view per latitude band, averaged over time.
+
+    Returns ``{"lats": array, "mean": array, "min": array}``. Longitude
+    is sampled uniformly (the constellation is longitude-symmetric only
+    statistically, so several samples are averaged).
+    """
+    if lat_step_deg <= 0:
+        raise ValueError("lat_step_deg must be positive")
+    lats = np.arange(-85.0, 85.0 + lat_step_deg, lat_step_deg)
+    lons = np.linspace(-180.0, 180.0, num_lon_samples, endpoint=False)
+    lat_grid = np.repeat(lats, len(lons))
+    lon_grid = np.tile(lons, len(lats))
+
+    samples = []
+    for time_s in np.atleast_1d(np.asarray(times_s, dtype=float)):
+        counts = visible_satellite_counts(
+            constellation, lat_grid, lon_grid, float(time_s)
+        )
+        samples.append(counts.reshape(len(lats), len(lons)))
+    stacked = np.stack(samples)  # (time, lat, lon)
+    return {
+        "lats": lats,
+        "mean": stacked.mean(axis=(0, 2)),
+        "min": stacked.min(axis=(0, 2)),
+    }
+
+
+def max_served_latitude_deg(constellation: Constellation) -> float:
+    """Highest latitude with any coverage (inclination + coverage angle).
+
+    For a 53-degree shell with a ~8.5-degree coverage angle this is
+    ~61.5 degrees — the hard geographic limit of first-phase Starlink
+    service the paper's constellation model implies.
+    """
+    best = 0.0
+    for shell in constellation.shells:
+        psi_deg = np.degrees(
+            coverage_central_angle_rad(shell.altitude_m, shell.min_elevation_deg)
+        )
+        reach = min(shell.inclination_deg + psi_deg, 90.0)
+        best = max(best, reach)
+    return float(best)

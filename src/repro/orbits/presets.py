@@ -1,0 +1,104 @@
+"""Constellation presets from the FCC filings the paper uses.
+
+The paper restricts its analysis to the first-deployment shell of each
+constellation (Section 2). The polar shell here supports the Section 8
+cross-shell experiment (Fig. 10), modelled as a 90-degree-inclination
+Walker shell at Starlink's phase-2 polar altitude.
+"""
+
+from __future__ import annotations
+
+from repro import constants
+from repro.orbits.constellation import Constellation, Shell
+
+__all__ = [
+    "starlink_shell",
+    "kuiper_shell",
+    "polar_shell",
+    "starlink",
+    "kuiper",
+    "starlink_with_polar",
+    "preset",
+    "PRESET_NAMES",
+]
+
+
+def starlink_shell() -> Shell:
+    """Starlink phase 1: 72 planes x 22 sats, 550 km, 53 deg, e >= 25 deg."""
+    return Shell(
+        name="starlink-p1",
+        num_planes=constants.STARLINK_NUM_PLANES,
+        sats_per_plane=constants.STARLINK_SATS_PER_PLANE,
+        altitude_m=constants.STARLINK_ALTITUDE_M,
+        inclination_deg=constants.STARLINK_INCLINATION_DEG,
+        min_elevation_deg=constants.STARLINK_MIN_ELEVATION_DEG,
+    )
+
+
+def kuiper_shell() -> Shell:
+    """Kuiper phase 1: 34 planes x 34 sats, 630 km, 51.9 deg, e >= 30 deg."""
+    return Shell(
+        name="kuiper-p1",
+        num_planes=constants.KUIPER_NUM_PLANES,
+        sats_per_plane=constants.KUIPER_SATS_PER_PLANE,
+        altitude_m=constants.KUIPER_ALTITUDE_M,
+        inclination_deg=constants.KUIPER_INCLINATION_DEG,
+        min_elevation_deg=constants.KUIPER_MIN_ELEVATION_DEG,
+    )
+
+
+def polar_shell(num_planes: int = 6, sats_per_plane: int = 58) -> Shell:
+    """A polar (90 deg) shell for the Fig. 10 cross-shell experiment.
+
+    Sized after Starlink's announced polar shell (348 satellites at 560 km
+    across 6 planes in later filings); exact sizing is not load-bearing for
+    the experiment, which only needs polar coverage at a distinct
+    inclination. Polar constellations use the Walker-*star* pattern —
+    planes spread over 180 degrees of RAAN (like Iridium) — because with
+    90-degree inclination the descending halves of the orbits already
+    cover the other hemisphere of longitudes; a 360-degree delta spread
+    would stack ground tracks pairwise and halve effective coverage.
+    """
+    return Shell(
+        name="polar",
+        num_planes=num_planes,
+        sats_per_plane=sats_per_plane,
+        altitude_m=560_000.0,
+        inclination_deg=90.0,
+        min_elevation_deg=25.0,
+        raan_spread_deg=180.0,
+    )
+
+
+def starlink() -> Constellation:
+    """Single-shell Starlink constellation used throughout the paper."""
+    return Constellation(name="starlink", shells=(starlink_shell(),))
+
+
+def kuiper() -> Constellation:
+    """Single-shell Kuiper constellation used in the throughput study."""
+    return Constellation(name="kuiper", shells=(kuiper_shell(),))
+
+
+def starlink_with_polar() -> Constellation:
+    """Starlink shell plus a polar shell (Section 8, Fig. 10)."""
+    return Constellation(name="starlink+polar", shells=(starlink_shell(), polar_shell()))
+
+
+_PRESETS = {
+    "starlink": starlink,
+    "kuiper": kuiper,
+    "starlink+polar": starlink_with_polar,
+}
+
+PRESET_NAMES = tuple(sorted(_PRESETS))
+
+
+def preset(name: str) -> Constellation:
+    """Look up a constellation preset by name; raises ``KeyError`` if unknown."""
+    try:
+        return _PRESETS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; available: {', '.join(PRESET_NAMES)}"
+        ) from None

@@ -1,0 +1,115 @@
+"""Persistence: save and reload simulation outputs.
+
+Full-scale runs take hours; this module lets the expensive artifacts —
+RTT series and experiment results — survive the process. RTT series go
+to ``.npz`` (compact, lossless); experiment results to JSON with numpy
+arrays converted to lists (human-inspectable, diff-able).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.pipeline import RttSeries
+from repro.experiments.base import ExperimentResult
+from repro.network.graph import ConnectivityMode
+
+__all__ = [
+    "save_rtt_series",
+    "load_rtt_series",
+    "save_experiment_result",
+    "load_experiment_result",
+]
+
+
+def save_rtt_series(series: RttSeries, path: str | Path) -> Path:
+    """Write an RTT series to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        mode=np.array(series.mode.value),
+        times_s=series.times_s,
+        rtt_ms=series.rtt_ms,
+    )
+    return path
+
+
+def load_rtt_series(path: str | Path) -> RttSeries:
+    """Inverse of :func:`save_rtt_series`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        return RttSeries(
+            mode=ConnectivityMode(str(data["mode"])),
+            times_s=data["times_s"],
+            rtt_ms=data["rtt_ms"],
+        )
+
+
+def _jsonable(value):
+    """Recursively convert numpy containers to JSON-serializable objects."""
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return _jsonable(value.item())
+    if isinstance(value, dict):
+        return {_key(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, float) and not np.isfinite(value):
+        return None
+    return value
+
+
+def _key(key):
+    """JSON object keys must be strings; tuples become pipe-joined."""
+    if isinstance(key, tuple):
+        return "|".join("" if k is None else str(k) for k in key)
+    if key is None:
+        return ""
+    return str(key)
+
+
+def save_experiment_result(result: ExperimentResult, path: str | Path) -> Path:
+    """Write an experiment result to JSON (``.json`` appended if missing).
+
+    The ``data`` payload is converted losslessly where JSON allows
+    (non-finite floats become ``null``; tuple keys become pipe-joined
+    strings) — enough for archiving and re-plotting, not for bit-exact
+    round-trips.
+    """
+    path = Path(path)
+    if path.suffix != ".json":
+        path = path.with_suffix(".json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "scale_name": result.scale_name,
+        "tables": result.tables,
+        "headline": _jsonable(result.headline),
+        "data": _jsonable(result.data),
+    }
+    path.write_text(json.dumps(payload, indent=1))
+    return path
+
+
+def load_experiment_result(path: str | Path) -> ExperimentResult:
+    """Load a previously saved experiment result.
+
+    Arrays come back as plain lists (JSON has no ndarray); callers that
+    need arrays should wrap with ``np.asarray``.
+    """
+    payload = json.loads(Path(path).read_text())
+    return ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        scale_name=payload["scale_name"],
+        tables=list(payload["tables"]),
+        headline=dict(payload["headline"]),
+        data=dict(payload["data"]),
+    )

@@ -1,0 +1,70 @@
+"""Shared fixtures: tiny-but-complete scenarios for fast tests.
+
+All mechanisms (aircraft, relays, ISLs, multipath, attenuation) stay
+enabled; only sizes shrink. Session-scoped fixtures amortize the cost of
+the land-mask raster and ground-segment construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scenario import Scenario, ScenarioScale
+from repro.network.graph import ConnectivityMode, build_snapshot_graph
+from repro.orbits.constellation import Constellation, Shell
+from repro.orbits.presets import starlink
+
+
+TINY_SCALE = ScenarioScale(
+    name="tiny",
+    num_cities=40,
+    num_pairs=25,
+    relay_spacing_deg=4.0,
+    num_snapshots=3,
+    snapshot_interval_s=1800.0,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_shell() -> Shell:
+    """A 6x8 Walker shell: small enough to reason about by hand."""
+    return Shell(
+        name="tiny",
+        num_planes=6,
+        sats_per_plane=8,
+        altitude_m=550_000.0,
+        inclination_deg=53.0,
+        min_elevation_deg=25.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_constellation(tiny_shell) -> Constellation:
+    return Constellation(name="tiny", shells=(tiny_shell,))
+
+
+@pytest.fixture(scope="session")
+def tiny_scenario() -> Scenario:
+    """Starlink-shell scenario at the tiny scale (shared, do not mutate)."""
+    return Scenario.paper_default("starlink", TINY_SCALE)
+
+
+@pytest.fixture(scope="session")
+def tiny_bp_graph(tiny_scenario):
+    return tiny_scenario.graph_at(0.0, ConnectivityMode.BP_ONLY)
+
+
+@pytest.fixture(scope="session")
+def tiny_hybrid_graph(tiny_scenario):
+    return tiny_scenario.graph_at(0.0, ConnectivityMode.HYBRID)
+
+
+@pytest.fixture(scope="session")
+def starlink_constellation():
+    return starlink()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)

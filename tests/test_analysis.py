@@ -1,0 +1,173 @@
+"""Tests for post-hoc analysis utilities (stretch, composition, utilization)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    link_utilization,
+    path_composition,
+    path_stretch,
+)
+from repro.core.pipeline import pair_paths_on_graph
+from repro.flows.throughput import evaluate_throughput
+from repro.network.links import LinkKind
+
+
+class TestPathStretch:
+    def test_identity(self):
+        assert path_stretch(100.0, 100.0) == 1.0
+
+    def test_detour(self):
+        assert path_stretch(150.0, 100.0) == pytest.approx(1.5)
+
+    def test_rejects_zero_geodesic(self):
+        with pytest.raises(ValueError):
+            path_stretch(10.0, 0.0)
+
+    def test_real_hybrid_paths_modest_stretch(self, tiny_hybrid_graph, tiny_scenario):
+        paths = pair_paths_on_graph(tiny_hybrid_graph, tiny_scenario.pairs)
+        matrix = tiny_hybrid_graph.matrix()
+        from scipy.sparse import csgraph
+
+        for pair, nodes in zip(tiny_scenario.pairs, paths):
+            if nodes is None or pair.distance_m < 4_000e3:
+                continue
+            dist = csgraph.dijkstra(
+                matrix, directed=True, indices=nodes[0]
+            )[nodes[-1]]
+            stretch = path_stretch(float(dist), pair.distance_m)
+            assert 1.0 <= stretch < 2.0
+
+
+class TestPathComposition:
+    def test_bp_path_has_no_isl_hops(self, tiny_bp_graph, tiny_scenario):
+        paths = pair_paths_on_graph(tiny_bp_graph, tiny_scenario.pairs)
+        nodes = next(p for p in paths if p is not None)
+        comp = path_composition(tiny_bp_graph, nodes)
+        assert comp.isl_hops == 0
+        assert comp.radio_hops == comp.satellite_hops * 2
+        assert comp.fiber_hops == 0
+
+    def test_hybrid_long_path_uses_isls(self, tiny_hybrid_graph, tiny_scenario):
+        paths = pair_paths_on_graph(tiny_hybrid_graph, tiny_scenario.pairs)
+        longest_idx = int(
+            np.argmax([p.distance_m for p in tiny_scenario.pairs])
+        )
+        nodes = paths[longest_idx]
+        assert nodes is not None
+        comp = path_composition(tiny_hybrid_graph, nodes)
+        assert comp.isl_hops > 0
+
+    def test_hop_counts_sum(self, tiny_hybrid_graph, tiny_scenario):
+        paths = pair_paths_on_graph(tiny_hybrid_graph, tiny_scenario.pairs)
+        nodes = next(p for p in paths if p is not None)
+        comp = path_composition(tiny_hybrid_graph, nodes)
+        assert comp.isl_hops + comp.radio_hops + comp.fiber_hops == len(nodes) - 1
+
+    def test_endpoints_are_cities(self, tiny_bp_graph, tiny_scenario):
+        paths = pair_paths_on_graph(tiny_bp_graph, tiny_scenario.pairs)
+        nodes = next(p for p in paths if p is not None)
+        comp = path_composition(tiny_bp_graph, nodes)
+        assert comp.city_gts >= 2
+        assert comp.intermediate_gts == (
+            comp.city_gts + comp.relay_gts + comp.aircraft_gts - 2
+        )
+
+
+class TestLinkUtilization:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_hybrid_graph, tiny_scenario):
+        return evaluate_throughput(tiny_hybrid_graph, tiny_scenario.pairs, k=2)
+
+    def test_families_present(self, result):
+        util = link_utilization(result)
+        assert LinkKind.GT_SAT in util.by_kind
+        assert LinkKind.ISL in util.by_kind
+
+    def test_utilization_bounds(self, result):
+        util = link_utilization(result)
+        for stats in util.by_kind.values():
+            assert 0.0 <= stats["mean_utilization"] <= 1.0 + 1e-9
+            assert stats["max_utilization"] <= 1.0 + 1e-9
+
+    def test_total_load_consistent(self, result):
+        util = link_utilization(result)
+        total_gbps = sum(s["total_load_gbps"] for s in util.by_kind.values())
+        assert total_gbps == pytest.approx(
+            result.allocation.link_loads.sum() / 1e9, rel=1e-9
+        )
+
+    def test_saturated_links_exist(self, result):
+        # Max-min saturates at least one link per flow group.
+        util = link_utilization(result)
+        assert any(s["saturated_links"] > 0 for s in util.by_kind.values())
+
+    def test_summary_rows_shape(self, result):
+        rows = link_utilization(result).summary_rows()
+        assert all(len(row) == 5 for row in rows)
+
+
+class TestRttJumps:
+    def test_jump_values(self):
+        from repro.analysis import rtt_jumps_ms
+        from repro.core.pipeline import RttSeries
+        from repro.network.graph import ConnectivityMode
+
+        rtt = np.array([[10.0, 12.0, np.inf, 15.0]])
+        series = RttSeries(
+            mode=ConnectivityMode.HYBRID, times_s=np.arange(4.0), rtt_ms=rtt
+        )
+        jumps = rtt_jumps_ms(series)
+        # Only the finite-to-finite step (10 -> 12) contributes.
+        np.testing.assert_allclose(jumps, [2.0])
+
+    def test_single_snapshot_no_jumps(self):
+        from repro.analysis import rtt_jumps_ms
+        from repro.core.pipeline import RttSeries
+        from repro.network.graph import ConnectivityMode
+
+        series = RttSeries(
+            mode=ConnectivityMode.HYBRID,
+            times_s=np.zeros(1),
+            rtt_ms=np.array([[10.0]]),
+        )
+        assert len(rtt_jumps_ms(series)) == 0
+
+    def test_real_series_bp_jumps_larger(self, tiny_scenario):
+        from repro.analysis import rtt_jumps_ms
+        from repro.core.pipeline import compute_rtt_series
+        from repro.network.graph import ConnectivityMode
+
+        bp = rtt_jumps_ms(compute_rtt_series(tiny_scenario, ConnectivityMode.BP_ONLY))
+        hy = rtt_jumps_ms(compute_rtt_series(tiny_scenario, ConnectivityMode.HYBRID))
+        assert len(bp) and len(hy)
+        # The Fig. 2(b) effect seen per-step: BP jumps at least as hard.
+        assert np.median(bp) >= 0.5 * np.median(hy)
+
+
+class TestCorridorSummary:
+    @pytest.fixture(scope="class")
+    def summary(self, tiny_scenario):
+        from repro.analysis import corridor_summary
+        from repro.core.comparison import compare_latency
+
+        comparison = compare_latency(tiny_scenario)
+        return corridor_summary(
+            tiny_scenario, comparison.bp_stats, comparison.hybrid_stats, min_pairs=1
+        )
+
+    def test_rows_sorted_by_gap(self, summary):
+        gaps = [row["median_min_rtt_gap_ms"] for row in summary]
+        assert gaps == sorted(gaps, reverse=True)
+
+    def test_pair_counts_cover_matrix(self, summary, tiny_scenario):
+        assert sum(row["pairs"] for row in summary) == len(tiny_scenario.pairs)
+
+    def test_gaps_nonnegative(self, summary):
+        # Hybrid is a superset network: BP min RTT can never be lower.
+        for row in summary:
+            assert row["median_min_rtt_gap_ms"] >= -1e-6
+
+    def test_corridor_names_valid(self, summary):
+        for row in summary:
+            assert row["corridor"].startswith("intra-") or " - " in row["corridor"]

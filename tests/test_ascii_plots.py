@@ -1,0 +1,78 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.reporting.ascii_plots import ascii_cdf, ascii_histogram, sparkline
+
+
+class TestAsciiCdf:
+    def test_basic_structure(self):
+        text = ascii_cdf({"BP": np.arange(100.0)}, width=40, height=8, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 1 + 8 + 3  # title + rows + axis + range + legend
+        assert "B=BP" in lines[-1]
+
+    def test_two_series_distinct_markers(self):
+        text = ascii_cdf({"BP": np.arange(50.0), "Hybrid": np.arange(50.0) * 0.5})
+        assert "B" in text and "H" in text
+
+    def test_monotone_curve(self):
+        # The marker's row index must not increase left to right.
+        text = ascii_cdf({"X": np.random.default_rng(0).uniform(0, 1, 500)},
+                         width=30, height=10)
+        rows = [l.split("|", 1)[1] for l in text.splitlines() if "|" in l]
+        last_row_of_col = {}
+        for r, row in enumerate(rows):
+            for c, ch in enumerate(row):
+                if ch == "X":
+                    last_row_of_col.setdefault(c, r)
+        cols = sorted(last_row_of_col)
+        values = [last_row_of_col[c] for c in cols]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_empty_data(self):
+        assert "(no finite data)" in ascii_cdf({"X": np.array([np.nan])})
+
+    def test_constant_data(self):
+        text = ascii_cdf({"X": np.full(10, 5.0)})
+        assert "X" in text
+
+
+class TestAsciiHistogram:
+    def test_counts_sum(self):
+        values = np.random.default_rng(1).normal(size=200)
+        text = ascii_histogram(values, bins=8)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in text.splitlines()]
+        assert sum(counts) == 200
+
+    def test_nan_dropped(self):
+        text = ascii_histogram(np.array([1.0, np.nan, 2.0]), bins=2)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in text.splitlines()]
+        assert sum(counts) == 2
+
+    def test_empty(self):
+        assert "(no finite data)" in ascii_histogram(np.array([]))
+
+    def test_title(self):
+        assert ascii_histogram(np.arange(5.0), title="H").splitlines()[0] == "H"
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline(np.arange(10.0))) == 10
+
+    def test_monotone_series(self):
+        line = sparkline(np.arange(8.0))
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_constant(self):
+        assert sparkline(np.ones(5)) == "▁▁▁▁▁"
+
+    def test_empty(self):
+        assert sparkline(np.array([])) == ""
+
+    def test_non_finite_dropped(self):
+        assert len(sparkline(np.array([1.0, np.inf, 2.0]))) == 2

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from tests.conftest import TINY_SCALE
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_parses_ids_and_scale(self):
+        args = build_parser().parse_args(["run", "fig9", "--scale", "small"])
+        assert args.ids == ["fig9"]
+        assert args.scale == "small"
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig9", "--scale", "gigantic"])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig2" in output
+        assert "disconnected" in output
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "starlink" in output
+        assert "1584" in output
+        assert "full" in output
+
+    def test_scenario_summary(self, capsys):
+        assert main(["scenario", "--scale", "small"]) == 0
+        output = capsys.readouterr().out
+        assert "satellites" in output
+        assert "1584" in output
+
+    def test_run_unknown_id(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_run_fig9_with_output_dir(self, capsys, tmp_path, monkeypatch):
+        # fig9 is pure geometry: cheap enough for a unit test.
+        assert main(["run", "fig9", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "fig9.txt").exists()
+        assert "GSO" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report_writes_markdown(self, capsys, tmp_path):
+        out = tmp_path / "report.md"
+        assert main(["report", "fig9", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("# Reproduction report")
+        assert "## fig9" in text
+        assert "GSO" in text
+
+    def test_report_unknown_id(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(["report", "fig99", "--out", str(tmp_path / "r.md")])

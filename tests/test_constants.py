@@ -1,0 +1,118 @@
+"""Constants and derived geometry against the paper's stated numbers."""
+
+import math
+
+import pytest
+
+from repro import constants
+
+
+class TestOrbitalPeriod:
+    def test_starlink_period_is_about_96_minutes(self):
+        period_min = constants.orbital_period(constants.STARLINK_ALTITUDE_M) / 60.0
+        assert 94.0 < period_min < 97.0
+
+    def test_kuiper_period_is_about_97_minutes(self):
+        period_min = constants.orbital_period(constants.KUIPER_ALTITUDE_M) / 60.0
+        assert 96.0 < period_min < 99.0
+
+    def test_paper_says_roughly_100_minutes(self):
+        # Section 2: "an orbital period of ~100 minutes".
+        for altitude in (constants.STARLINK_ALTITUDE_M, constants.KUIPER_ALTITUDE_M):
+            assert 90.0 < constants.orbital_period(altitude) / 60.0 < 110.0
+
+    def test_period_grows_with_altitude(self):
+        assert constants.orbital_period(600e3) > constants.orbital_period(500e3)
+
+    def test_gso_period_is_sidereal_day(self):
+        period = constants.orbital_period(constants.GSO_ALTITUDE_M)
+        assert period == pytest.approx(constants.SIDEREAL_DAY, rel=1e-3)
+
+
+class TestCoverageRadius:
+    def test_starlink_coverage_matches_paper_941km(self):
+        radius_km = constants.coverage_radius_m(
+            constants.STARLINK_ALTITUDE_M, constants.STARLINK_MIN_ELEVATION_DEG
+        ) / 1000.0
+        assert radius_km == pytest.approx(constants.STARLINK_COVERAGE_RADIUS_KM, abs=2.0)
+
+    def test_kuiper_spherical_coverage(self):
+        # The paper's 1,091 km for Kuiper matches h/tan(e) (flat Earth),
+        # not the spherical formula; we model the spherical value.
+        radius_km = constants.coverage_radius_m(
+            constants.KUIPER_ALTITUDE_M, constants.KUIPER_MIN_ELEVATION_DEG
+        ) / 1000.0
+        assert radius_km == pytest.approx(
+            constants.KUIPER_COVERAGE_RADIUS_SPHERICAL_KM, abs=2.0
+        )
+
+    def test_kuiper_paper_value_is_flat_earth_formula(self):
+        flat_km = constants.KUIPER_ALTITUDE_M / math.tan(
+            math.radians(constants.KUIPER_MIN_ELEVATION_DEG)
+        ) / 1000.0
+        assert flat_km == pytest.approx(constants.KUIPER_COVERAGE_RADIUS_KM, abs=2.0)
+
+    def test_coverage_shrinks_with_elevation(self):
+        low = constants.coverage_radius_m(550e3, 25.0)
+        high = constants.coverage_radius_m(550e3, 40.0)
+        assert high < low
+
+    def test_coverage_grows_with_altitude(self):
+        assert constants.coverage_radius_m(1200e3, 25.0) > constants.coverage_radius_m(
+            550e3, 25.0
+        )
+
+    def test_zenith_only_coverage_is_zero(self):
+        assert constants.coverage_radius_m(550e3, 90.0) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestSlantRange:
+    def test_zenith_slant_range_is_altitude(self):
+        assert constants.slant_range_m(550e3, 90.0) == pytest.approx(550e3, rel=1e-9)
+
+    def test_slant_range_grows_as_elevation_drops(self):
+        assert constants.slant_range_m(550e3, 25.0) > constants.slant_range_m(550e3, 60.0)
+
+    def test_starlink_min_elevation_slant_range(self):
+        # At e = 25 deg and h = 550 km the slant range is ~1,120 km.
+        range_km = constants.slant_range_m(550e3, 25.0) / 1000.0
+        assert 1000.0 < range_km < 1250.0
+
+    def test_consistency_with_coverage_geometry(self):
+        # The slant range at minimum elevation, the coverage radius, and
+        # the orbit radius must satisfy the spherical triangle relation.
+        altitude = 550e3
+        elevation = 25.0
+        slant = constants.slant_range_m(altitude, elevation)
+        psi = constants.coverage_radius_m(altitude, elevation) / constants.EARTH_RADIUS
+        orbit_r = constants.EARTH_RADIUS + altitude
+        law_of_cosines = math.sqrt(
+            constants.EARTH_RADIUS**2
+            + orbit_r**2
+            - 2.0 * constants.EARTH_RADIUS * orbit_r * math.cos(psi)
+        )
+        assert slant == pytest.approx(law_of_cosines, rel=1e-9)
+
+
+class TestSnapshotCadence:
+    def test_96_snapshots_per_day(self):
+        assert constants.NUM_SNAPSHOTS_PER_DAY == 96
+
+    def test_snapshot_interval_is_15_minutes(self):
+        assert constants.SNAPSHOT_INTERVAL_S == 900.0
+
+
+class TestShellParameters:
+    def test_starlink_satellite_count(self):
+        assert constants.STARLINK_NUM_PLANES * constants.STARLINK_SATS_PER_PLANE == 1584
+
+    def test_kuiper_satellite_count(self):
+        assert constants.KUIPER_NUM_PLANES * constants.KUIPER_SATS_PER_PLANE == 1156
+
+    def test_capacities_match_paper(self):
+        assert constants.GT_SAT_CAPACITY_BPS == 20e9
+        assert constants.ISL_CAPACITY_BPS == 100e9
+
+    def test_ku_band_frequencies(self):
+        assert constants.UPLINK_FREQ_GHZ == 14.25
+        assert constants.DOWNLINK_FREQ_GHZ == 11.7

@@ -1,0 +1,87 @@
+"""Unit tests for the coverage-analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.orbits.coverage import (
+    latitude_coverage_profile,
+    max_served_latitude_deg,
+    visible_satellite_counts,
+)
+from repro.orbits.presets import starlink, starlink_with_polar
+
+
+class TestVisibleCounts:
+    def test_matches_graph_builder(self, tiny_scenario, tiny_bp_graph):
+        """Coverage counts must agree with the snapshot graph's edges."""
+        stations = tiny_bp_graph.stations
+        city_lats = stations.lats[: stations.city_count]
+        city_lons = stations.lons[: stations.city_count]
+        counts = visible_satellite_counts(
+            tiny_scenario.constellation, city_lats, city_lons, 0.0
+        )
+        for city_idx in range(stations.city_count):
+            node = tiny_bp_graph.gt_node(city_idx)
+            degree = int(np.sum(tiny_bp_graph.edges[:, 1] == node))
+            assert counts[city_idx] == degree
+
+    def test_midlatitude_sees_more_than_equator(self, starlink_constellation):
+        # Average over longitudes to smooth plane geometry.
+        lons = np.linspace(-180, 180, 36, endpoint=False)
+        mid = visible_satellite_counts(
+            starlink_constellation, np.full(36, 51.0), lons, 0.0
+        ).mean()
+        equator = visible_satellite_counts(
+            starlink_constellation, np.zeros(36), lons, 0.0
+        ).mean()
+        assert mid > 1.5 * equator
+
+    def test_poles_uncovered_by_inclined_shell(self, starlink_constellation):
+        counts = visible_satellite_counts(
+            starlink_constellation, np.array([75.0, -75.0, 89.0]), np.zeros(3), 0.0
+        )
+        assert np.all(counts == 0)
+
+    def test_polar_shell_covers_poles(self):
+        constellation = starlink_with_polar()
+        counts = visible_satellite_counts(
+            constellation, np.array([85.0]), np.array([0.0]), 0.0
+        )
+        assert counts[0] > 0
+
+
+class TestLatitudeProfile:
+    @pytest.fixture(scope="class")
+    def profile(self, starlink_constellation):
+        return latitude_coverage_profile(
+            starlink_constellation, [0.0, 1800.0], lat_step_deg=10.0,
+            num_lon_samples=12,
+        )
+
+    def test_shapes(self, profile):
+        assert len(profile["lats"]) == len(profile["mean"]) == len(profile["min"])
+
+    def test_symmetric_about_equator(self, profile):
+        lats = profile["lats"]
+        mean = profile["mean"]
+        north = mean[lats > 0]
+        south = mean[lats < 0][::-1]
+        np.testing.assert_allclose(north, south, rtol=0.5, atol=2.0)
+
+    def test_peak_near_inclination(self, profile):
+        lats = profile["lats"]
+        peak_lat = abs(lats[int(np.argmax(profile["mean"]))])
+        assert 40.0 <= peak_lat <= 60.0
+
+    def test_validation(self, starlink_constellation):
+        with pytest.raises(ValueError):
+            latitude_coverage_profile(starlink_constellation, [0.0], lat_step_deg=0)
+
+
+class TestMaxServedLatitude:
+    def test_starlink_limit_around_61(self, starlink_constellation):
+        limit = max_served_latitude_deg(starlink_constellation)
+        assert 59.0 < limit < 64.0
+
+    def test_polar_shell_reaches_pole(self):
+        assert max_served_latitude_deg(starlink_with_polar()) == 90.0

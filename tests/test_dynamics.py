@@ -1,0 +1,148 @@
+"""Unit tests for pass-duration and path-churn dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.network.dynamics import (
+    churn_between,
+    empirical_pass_durations_s,
+    max_pass_duration_s,
+    path_jaccard,
+)
+from repro.orbits.constellation import Shell
+from repro.orbits.presets import kuiper_shell, starlink_shell
+
+
+class TestAnalyticPassDuration:
+    def test_starlink_few_minutes(self):
+        duration_min = max_pass_duration_s(starlink_shell()) / 60.0
+        assert 3.0 < duration_min < 7.0
+
+    def test_kuiper_few_minutes(self):
+        duration_min = max_pass_duration_s(kuiper_shell()) / 60.0
+        assert 3.0 < duration_min < 8.0
+
+    def test_higher_orbit_longer_pass(self):
+        low = Shell("low", 10, 10, 550e3, 53.0, 25.0)
+        high = Shell("high", 10, 10, 1200e3, 53.0, 25.0)
+        assert max_pass_duration_s(high) > max_pass_duration_s(low)
+
+    def test_stricter_elevation_shorter_pass(self):
+        loose = Shell("l", 10, 10, 550e3, 53.0, 25.0)
+        strict = Shell("s", 10, 10, 550e3, 53.0, 40.0)
+        assert max_pass_duration_s(strict) < max_pass_duration_s(loose)
+
+
+class TestEmpiricalPasses:
+    @pytest.fixture(scope="class")
+    def durations(self):
+        return empirical_pass_durations_s(
+            starlink_shell(), 51.5, -0.1, duration_s=3600.0, step_s=20.0
+        )
+
+    def test_observes_passes(self, durations):
+        assert len(durations) > 20
+
+    def test_respects_analytic_bound(self, durations):
+        bound = max_pass_duration_s(starlink_shell())
+        # One sampling step of slack on each side.
+        assert durations.max() <= bound + 41.0
+
+    def test_all_positive(self, durations):
+        assert np.all(durations > 0)
+
+    def test_typical_duration_minutes(self, durations):
+        assert 60.0 < np.median(durations) < 420.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            empirical_pass_durations_s(starlink_shell(), 0, 0, duration_s=-1.0)
+        with pytest.raises(ValueError):
+            empirical_pass_durations_s(starlink_shell(), 0, 0, step_s=0.0)
+
+
+class TestPathJaccard:
+    def test_identical(self):
+        assert path_jaccard((1, 2, 3), (1, 2, 3)) == 1.0
+
+    def test_disjoint(self):
+        assert path_jaccard((1, 2), (3, 4)) == 0.0
+
+    def test_partial(self):
+        assert path_jaccard((1, 2, 3), (2, 3, 4)) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert path_jaccard((), ()) == 1.0
+
+
+class TestChurnBetween:
+    def test_no_change(self):
+        paths = [(1, 2, 3), (4, 5)]
+        stats = churn_between(paths, paths)
+        assert stats["mean_churn"] == 0.0
+        assert stats["changed_fraction"] == 0.0
+        assert stats["compared"] == 2
+
+    def test_total_change(self):
+        stats = churn_between([(1, 2)], [(3, 4)])
+        assert stats["mean_churn"] == 1.0
+        assert stats["changed_fraction"] == 1.0
+
+    def test_none_paths_skipped(self):
+        stats = churn_between([(1, 2), None], [(1, 2), (3, 4)])
+        assert stats["compared"] == 1
+        assert stats["mean_churn"] == 0.0
+
+    def test_all_none(self):
+        stats = churn_between([None], [None])
+        assert stats["compared"] == 0
+        assert np.isnan(stats["mean_churn"])
+
+    def test_same_nodes_different_order_counts_as_changed(self):
+        stats = churn_between([(1, 2, 3)], [(3, 2, 1)])
+        assert stats["mean_churn"] == 0.0  # Same node set...
+        assert stats["changed_fraction"] == 1.0  # ...but a different path.
+
+
+class TestHandoverStats:
+    def test_sticky_fewer_handovers_than_max_elevation(self):
+        from repro.network.dynamics import gt_handover_stats
+        from repro.orbits.presets import starlink_shell
+
+        shell = starlink_shell()
+        sticky = gt_handover_stats(shell, 51.5, -0.1, 3600.0, 20.0, "sticky")
+        greedy = gt_handover_stats(shell, 51.5, -0.1, 3600.0, 20.0, "max_elevation")
+        assert sticky["handovers_per_hour"] < greedy["handovers_per_hour"]
+
+    def test_sticky_dwell_comparable_to_pass_duration(self):
+        from repro.network.dynamics import gt_handover_stats, max_pass_duration_s
+        from repro.orbits.presets import starlink_shell
+
+        shell = starlink_shell()
+        stats = gt_handover_stats(shell, 51.5, -0.1, 7200.0, 20.0, "sticky")
+        bound = max_pass_duration_s(shell)
+        assert 0.2 * bound < stats["mean_dwell_s"] <= bound + 21.0
+
+    def test_mid_latitude_continuous_coverage(self):
+        from repro.network.dynamics import gt_handover_stats
+        from repro.orbits.presets import starlink_shell
+
+        stats = gt_handover_stats(starlink_shell(), 48.0, 2.0, 3600.0, 30.0)
+        assert stats["coverage_gap_fraction"] == 0.0
+
+    def test_out_of_band_latitude_all_gaps(self):
+        from repro.network.dynamics import gt_handover_stats
+        from repro.orbits.presets import starlink_shell
+
+        stats = gt_handover_stats(starlink_shell(), 75.0, 0.0, 1800.0, 60.0)
+        assert stats["coverage_gap_fraction"] == 1.0
+        assert stats["handovers"] == 0
+
+    def test_validation(self):
+        from repro.network.dynamics import gt_handover_stats
+        from repro.orbits.presets import starlink_shell
+
+        with pytest.raises(ValueError):
+            gt_handover_stats(starlink_shell(), 0, 0, 100.0, 10.0, policy="psychic")
+        with pytest.raises(ValueError):
+            gt_handover_stats(starlink_shell(), 0, 0, -5.0, 10.0)

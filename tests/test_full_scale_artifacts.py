@@ -1,0 +1,91 @@
+"""Consistency checks on archived full-scale results (when present).
+
+The full-scale scripts under ``scripts/`` persist their outputs to
+``results/``. These tests validate whatever is there — physical bounds,
+internal consistency with recomputed statistics — and skip cleanly on a
+fresh checkout where the expensive runs have not been made yet.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS = Path(__file__).parent.parent / "results"
+
+needs_fig2 = pytest.mark.skipif(
+    not (RESULTS / "full48_summary.json").exists(),
+    reason="full-scale Fig. 2 artifacts not generated (run scripts/full_fig2.py)",
+)
+needs_fig45 = pytest.mark.skipif(
+    not (RESULTS / "full_fig45_summary.json").exists(),
+    reason="full-scale Fig. 4/5 artifacts not generated (run scripts/full_fig45.py)",
+)
+
+
+@needs_fig2
+class TestFullScaleFig2Artifacts:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return json.loads((RESULTS / "full48_summary.json").read_text())
+
+    def test_headlines_in_paper_regime(self, summary):
+        # Paper: +80 % median variation increase; we accept the regime.
+        assert 30.0 < summary["median_variation_increase_pct"] < 200.0
+        # Paper: hybrid variation stays under 20 ms.
+        assert summary["hybrid_variation_max_ms"] < 25.0
+        # BP varies multiples more at the extreme.
+        assert summary["bp_variation_max_ms"] > 2 * summary["hybrid_variation_max_ms"]
+
+    def test_series_consistent_with_summary(self, summary):
+        from repro.core.metrics import rtt_stats
+        from repro.persistence import load_rtt_series
+
+        bp = load_rtt_series(RESULTS / "full48_bp.npz")
+        hy = load_rtt_series(RESULTS / "full48_hybrid.npz")
+        assert bp.rtt_ms.shape == hy.rtt_ms.shape == (5000, 48)
+        bp_var = rtt_stats(bp).variation_ms
+        bp_var = bp_var[np.isfinite(bp_var)]
+        assert float(np.max(bp_var)) == pytest.approx(
+            summary["bp_variation_max_ms"], rel=1e-6
+        )
+        assert bp.reachable_fraction() == pytest.approx(
+            summary["bp_reachable"], rel=1e-9
+        )
+
+    def test_rtts_physical(self):
+        from repro.persistence import load_rtt_series
+
+        for name in ("full48_bp.npz", "full48_hybrid.npz"):
+            series = load_rtt_series(RESULTS / name)
+            finite = series.rtt_ms[np.isfinite(series.rtt_ms)]
+            assert finite.min() > 10.0  # >2,000 km pairs: >13 ms physically.
+            assert finite.max() < 1000.0
+
+    def test_hybrid_never_worse_per_cell(self):
+        from repro.persistence import load_rtt_series
+
+        bp = load_rtt_series(RESULTS / "full48_bp.npz").rtt_ms
+        hy = load_rtt_series(RESULTS / "full48_hybrid.npz").rtt_ms
+        both = np.isfinite(bp) & np.isfinite(hy)
+        assert np.all(bp[both] >= hy[both] - 1e-6)
+
+
+@needs_fig45
+class TestFullScaleFig45Artifacts:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return json.loads((RESULTS / "full_fig45_summary.json").read_text())
+
+    def test_hybrid_wins_at_both_k(self, summary):
+        assert summary["hybrid_over_bp_k1"] > 1.5
+        assert summary["hybrid_over_bp_k4"] > 1.3
+
+    def test_fig5_sweep_monotone(self, summary):
+        values = [summary[f"fig5_hybrid_{r}x_gbps"] for r in (0.5, 1.0, 2.0, 3.0, 5.0)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_multipath_gains_positive(self, summary):
+        assert summary["hybrid_multipath_gain"] > 1.0
+        assert summary["bp_multipath_gain"] > 1.0

@@ -1,0 +1,191 @@
+"""Unit tests for snapshot graph construction."""
+
+import numpy as np
+import pytest
+
+from repro.constants import SPEED_OF_LIGHT, slant_range_m
+from repro.network.graph import ConnectivityMode, build_snapshot_graph
+from repro.network.links import LinkCapacities, LinkKind
+from repro.orbits.visibility import elevation_deg
+
+
+class TestModes:
+    def test_bp_graph_has_no_isls(self, tiny_bp_graph):
+        assert np.all(tiny_bp_graph.edge_kind == 0)
+
+    def test_hybrid_graph_has_isls(self, tiny_hybrid_graph):
+        assert np.any(tiny_hybrid_graph.edge_kind == 1)
+
+    def test_hybrid_isl_count(self, tiny_hybrid_graph, starlink_constellation):
+        isl_edges = int(np.sum(tiny_hybrid_graph.edge_kind == 1))
+        assert isl_edges == 2 * starlink_constellation.num_satellites
+
+    def test_gt_sat_edges_identical_across_modes(self, tiny_bp_graph, tiny_hybrid_graph):
+        bp_edges = tiny_bp_graph.edges
+        hy_gt_edges = tiny_hybrid_graph.edges[tiny_hybrid_graph.edge_kind == 0]
+        np.testing.assert_array_equal(bp_edges, hy_gt_edges)
+
+    def test_isl_only_uses_isls(self, tiny_scenario):
+        graph = tiny_scenario.graph_at(0.0, ConnectivityMode.ISL_ONLY)
+        assert graph.mode.uses_isls
+        assert np.any(graph.edge_kind == 1)
+
+
+class TestVisibilityEdges:
+    def test_every_edge_respects_min_elevation(self, tiny_bp_graph):
+        graph = tiny_bp_graph
+        for u, v in graph.edges[:: max(len(graph.edges) // 100, 1)]:
+            sat_pos = graph.sat_ecef[u]
+            gt_pos = graph.gt_ecef[v - graph.num_sats]
+            elev = float(elevation_deg(gt_pos, sat_pos))
+            # Small slack: visibility uses the ground-projection test and
+            # aircraft GTs sit slightly above the surface.
+            assert elev >= 24.0
+
+    def test_edge_distances_match_geometry(self, tiny_bp_graph):
+        graph = tiny_bp_graph
+        u, v = graph.edges[0]
+        expected = np.linalg.norm(graph.sat_ecef[u] - graph.gt_ecef[v - graph.num_sats])
+        assert graph.edge_dist_m[0] == pytest.approx(expected)
+
+    def test_gt_sat_distances_bounded_by_slant_range(self, tiny_bp_graph):
+        # No GT-sat link can exceed the slant range at minimum elevation
+        # (plus aircraft-altitude slack).
+        max_range = slant_range_m(550e3, 25.0) + 50e3
+        gt_sat = tiny_bp_graph.edge_kind == 0
+        assert tiny_bp_graph.edge_dist_m[gt_sat].max() <= max_range
+
+    def test_every_city_gt_sees_a_satellite(self, tiny_bp_graph):
+        """Starlink's 53-degree shell covers every city in the tiny set."""
+        graph = tiny_bp_graph
+        connected = set(graph.edges[:, 1].tolist())
+        for city_idx in range(graph.stations.city_count):
+            assert graph.gt_node(city_idx) in connected
+
+    def test_node_indexing(self, tiny_bp_graph):
+        graph = tiny_bp_graph
+        assert graph.num_nodes == graph.num_sats + graph.num_gts
+        assert graph.is_sat_node(0)
+        assert not graph.is_sat_node(graph.num_sats)
+        assert graph.gt_node(0) == graph.num_sats
+        with pytest.raises(IndexError):
+            graph.gt_node(graph.num_gts)
+
+
+class TestMatrix:
+    def test_matrix_symmetric(self, tiny_hybrid_graph):
+        matrix = tiny_hybrid_graph.matrix()
+        diff = (matrix - matrix.T).tocoo()
+        assert len(diff.data) == 0 or np.abs(diff.data).max() < 1e-9
+
+    def test_matrix_cached(self, tiny_hybrid_graph):
+        assert tiny_hybrid_graph.matrix() is tiny_hybrid_graph.matrix()
+
+    def test_latency_matrix_scales_by_c(self, tiny_hybrid_graph):
+        dist = tiny_hybrid_graph.matrix()
+        lat = tiny_hybrid_graph.latency_matrix()
+        np.testing.assert_allclose(lat.data * SPEED_OF_LIGHT, dist.data, rtol=1e-12)
+
+
+class TestCapacities:
+    def test_edge_capacities_by_kind(self, tiny_hybrid_graph):
+        caps = tiny_hybrid_graph.edge_capacities(LinkCapacities())
+        gt_sat = tiny_hybrid_graph.edge_kind == 0
+        assert np.all(caps[gt_sat] == 20e9)
+        assert np.all(caps[~gt_sat] == 100e9)
+
+    def test_edge_link_kind(self, tiny_hybrid_graph):
+        first_isl = int(np.nonzero(tiny_hybrid_graph.edge_kind == 1)[0][0])
+        assert tiny_hybrid_graph.edge_link_kind(first_isl) is LinkKind.ISL
+        assert tiny_hybrid_graph.edge_link_kind(0) is LinkKind.GT_SAT
+
+
+class TestComponents:
+    def test_hybrid_satellites_never_disconnected(self, tiny_hybrid_graph):
+        stats = tiny_hybrid_graph.satellite_component_stats()
+        assert stats["disconnected_satellites"] == 0
+
+    def test_bp_has_disconnected_satellites(self, tiny_bp_graph):
+        """The Section 5 effect: ocean satellites serve nobody under BP."""
+        stats = tiny_bp_graph.satellite_component_stats()
+        assert stats["disconnected_fraction"] > 0.10
+
+    def test_component_arithmetic(self, tiny_bp_graph):
+        stats = tiny_bp_graph.satellite_component_stats()
+        assert 0 <= stats["disconnected_satellites"] <= tiny_bp_graph.num_sats
+        assert stats["giant_component_size"] <= tiny_bp_graph.num_nodes
+
+
+class TestDynamics:
+    def test_graph_changes_over_time(self, tiny_scenario):
+        g0 = tiny_scenario.graph_at(0.0, ConnectivityMode.BP_ONLY)
+        g1 = tiny_scenario.graph_at(900.0, ConnectivityMode.BP_ONLY)
+        # Satellites moved ~400 km along-track; the edge set must differ.
+        assert g0.num_edges != g1.num_edges or not np.array_equal(g0.edges, g1.edges)
+
+    def test_empty_station_table(self, starlink_constellation):
+        from repro.ground.stations import StationTable
+
+        empty = StationTable(
+            lats=np.empty(0),
+            lons=np.empty(0),
+            altitudes=np.empty(0),
+            city_count=0,
+            relay_count=0,
+        )
+        graph = build_snapshot_graph(
+            starlink_constellation, empty, 0.0, ConnectivityMode.HYBRID
+        )
+        assert graph.num_gts == 0
+        assert np.all(graph.edge_kind == 1)  # Only ISLs remain.
+
+
+class TestNetworkxExport:
+    def test_node_and_edge_counts(self, tiny_hybrid_graph):
+        nx_graph = tiny_hybrid_graph.to_networkx()
+        assert nx_graph.number_of_nodes() == tiny_hybrid_graph.num_nodes
+        assert nx_graph.number_of_edges() == tiny_hybrid_graph.num_edges
+
+    def test_node_attributes(self, tiny_hybrid_graph):
+        nx_graph = tiny_hybrid_graph.to_networkx()
+        assert nx_graph.nodes[0]["kind"] == "sat"
+        city_node = tiny_hybrid_graph.gt_node(0)
+        assert nx_graph.nodes[city_node]["kind"] == "city"
+        assert -90 <= nx_graph.nodes[city_node]["lat"] <= 90
+
+    def test_edge_attributes(self, tiny_hybrid_graph):
+        nx_graph = tiny_hybrid_graph.to_networkx()
+        u, v = tiny_hybrid_graph.edges[0]
+        attrs = nx_graph.edges[int(u), int(v)]
+        assert attrs["dist_m"] > 0
+        assert attrs["kind"] in ("gt-sat", "isl", "fiber")
+        assert attrs["capacity_bps"] > 0
+
+    def test_shortest_path_agrees_with_csgraph(self, tiny_hybrid_graph, tiny_scenario):
+        import networkx as nx
+
+        from repro.network.paths import shortest_path
+
+        pair = tiny_scenario.pairs[0]
+        s = tiny_hybrid_graph.gt_node(pair.a)
+        t = tiny_hybrid_graph.gt_node(pair.b)
+        own = shortest_path(tiny_hybrid_graph.matrix(), s, t)
+        nx_graph = tiny_hybrid_graph.to_networkx()
+        nx_length = nx.shortest_path_length(nx_graph, s, t, weight="dist_m")
+        assert own.length_m == pytest.approx(nx_length, rel=1e-9)
+
+
+class TestSummary:
+    def test_summary_fields(self, tiny_hybrid_graph):
+        summary = tiny_hybrid_graph.summary()
+        assert summary["satellites"] == 1584
+        assert summary["mode"] == "hybrid"
+        assert summary["isl_edges"] == 2 * 1584
+        assert summary["fiber_edges"] == 0
+        assert (
+            summary["radio_edges"] + summary["isl_edges"] + summary["fiber_edges"]
+            == tiny_hybrid_graph.num_edges
+        )
+
+    def test_bp_summary_has_no_isls(self, tiny_bp_graph):
+        assert tiny_bp_graph.summary()["isl_edges"] == 0

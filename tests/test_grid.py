@@ -1,0 +1,91 @@
+"""Unit tests for lat/lon grids and relay-grid selection."""
+
+import numpy as np
+import pytest
+
+from repro.geo import geodesy, grid
+from repro.geo.landmask import is_land
+
+
+class TestGlobalGrid:
+    def test_spacing_one_degree_count(self):
+        lats, lons = grid.global_grid(1.0)
+        # 179 latitude rows (no poles) x 360 longitude columns.
+        assert len(lats) == 179 * 360
+        assert len(lons) == len(lats)
+
+    def test_no_poles(self):
+        lats, _ = grid.global_grid(0.5)
+        assert lats.max() < 90.0
+        assert lats.min() > -90.0
+
+    def test_longitudes_in_range(self):
+        _, lons = grid.global_grid(2.0)
+        assert lons.min() >= -180.0
+        assert lons.max() < 180.0
+
+    def test_rejects_nonpositive_spacing(self):
+        with pytest.raises(ValueError):
+            grid.global_grid(0.0)
+
+    def test_grid_is_uniform(self):
+        lats, lons = grid.global_grid(10.0)
+        assert set(np.diff(sorted(set(lats.tolist())))) == {10.0}
+
+
+class TestGridPointsNear:
+    def test_points_within_radius(self):
+        lats, lons = grid.grid_points_near([48.86], [2.35], 500e3, 1.0)
+        distances = geodesy.haversine_m(lats, lons, 48.86, 2.35)
+        assert np.all(distances <= 500e3 + 1.0)
+
+    def test_all_near_points_included(self):
+        # Every global grid point within the radius must be selected.
+        centre = (40.0, -100.0)
+        radius = 800e3
+        selected_lats, selected_lons = grid.grid_points_near(
+            [centre[0]], [centre[1]], radius, 2.0
+        )
+        all_lats, all_lons = grid.global_grid(2.0)
+        distances = geodesy.haversine_m(all_lats, all_lons, *centre)
+        expected = int(np.sum(distances <= radius))
+        assert len(selected_lats) == expected
+
+    def test_multiple_centres_union(self):
+        one = grid.grid_points_near([0.0], [0.0], 300e3, 1.0)
+        other = grid.grid_points_near([0.0], [90.0], 300e3, 1.0)
+        union = grid.grid_points_near([0.0, 0.0], [0.0, 90.0], 300e3, 1.0)
+        assert len(union[0]) == len(one[0]) + len(other[0])
+
+    def test_empty_centres(self):
+        lats, lons = grid.grid_points_near([], [], 1000e3, 1.0)
+        assert len(lats) == 0
+        assert len(lons) == 0
+
+    def test_zero_radius_selects_nothing_off_grid(self):
+        lats, _ = grid.grid_points_near([0.25], [0.25], 1.0, 1.0)
+        assert len(lats) == 0
+
+
+class TestLandGridPointsNear:
+    def test_all_selected_points_on_land(self):
+        lats, lons = grid.land_grid_points_near([48.86], [2.35], 1_000e3, 1.0)
+        assert len(lats) > 0
+        assert np.all(is_land(lats, lons))
+
+    def test_ocean_centre_selects_coastal_land_only(self):
+        # Centre in the mid North Atlantic: within 2,000 km there is very
+        # little land; everything selected must still be land.
+        lats, lons = grid.land_grid_points_near([45.0], [-35.0], 2_000e3, 1.0)
+        assert np.all(is_land(lats, lons))
+
+    def test_land_subset_of_unfiltered(self):
+        unfiltered = grid.grid_points_near([35.0], [-100.0], 700e3, 1.0)
+        filtered = grid.land_grid_points_near([35.0], [-100.0], 700e3, 1.0)
+        assert len(filtered[0]) <= len(unfiltered[0])
+
+    def test_relay_density_scales_with_spacing(self):
+        coarse = grid.land_grid_points_near([48.86], [2.35], 1_000e3, 2.0)
+        fine = grid.land_grid_points_near([48.86], [2.35], 1_000e3, 1.0)
+        # Halving the spacing roughly quadruples the point count.
+        assert len(fine[0]) > 2.5 * len(coarse[0])

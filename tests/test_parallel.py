@@ -1,0 +1,38 @@
+"""Tests for the parallel snapshot runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import compute_rtt_series_parallel, default_worker_count
+from repro.core.pipeline import compute_rtt_series
+from repro.network.graph import ConnectivityMode
+
+
+class TestParallelRunner:
+    def test_matches_serial_exactly(self, tiny_scenario):
+        serial = compute_rtt_series(tiny_scenario, ConnectivityMode.HYBRID)
+        parallel = compute_rtt_series_parallel(
+            tiny_scenario, ConnectivityMode.HYBRID, processes=2
+        )
+        np.testing.assert_array_equal(parallel.rtt_ms, serial.rtt_ms)
+        np.testing.assert_array_equal(parallel.times_s, serial.times_s)
+        assert parallel.mode is serial.mode
+
+    def test_bp_mode(self, tiny_scenario):
+        serial = compute_rtt_series(tiny_scenario, ConnectivityMode.BP_ONLY)
+        parallel = compute_rtt_series_parallel(
+            tiny_scenario, ConnectivityMode.BP_ONLY, processes=2
+        )
+        np.testing.assert_array_equal(parallel.rtt_ms, serial.rtt_ms)
+
+    def test_single_process_fallback(self, tiny_scenario):
+        result = compute_rtt_series_parallel(
+            tiny_scenario, ConnectivityMode.HYBRID, processes=1
+        )
+        assert result.rtt_ms.shape == (
+            len(tiny_scenario.pairs),
+            len(tiny_scenario.times_s),
+        )
+
+    def test_default_worker_count_positive(self):
+        assert default_worker_count() >= 1

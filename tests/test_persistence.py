@@ -1,0 +1,106 @@
+"""Tests for saving/loading simulation outputs."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import RttSeries
+from repro.experiments.base import ExperimentResult
+from repro.network.graph import ConnectivityMode
+from repro.persistence import (
+    load_experiment_result,
+    load_rtt_series,
+    save_experiment_result,
+    save_rtt_series,
+)
+
+
+@pytest.fixture()
+def series():
+    rtt = np.array([[10.0, np.inf, 12.5], [np.inf, np.inf, np.inf]])
+    return RttSeries(
+        mode=ConnectivityMode.BP_ONLY,
+        times_s=np.array([0.0, 900.0, 1800.0]),
+        rtt_ms=rtt,
+    )
+
+
+class TestRttSeriesRoundtrip:
+    def test_roundtrip_exact(self, series, tmp_path):
+        path = save_rtt_series(series, tmp_path / "series")
+        loaded = load_rtt_series(path)
+        assert loaded.mode is ConnectivityMode.BP_ONLY
+        np.testing.assert_array_equal(loaded.times_s, series.times_s)
+        np.testing.assert_array_equal(loaded.rtt_ms, series.rtt_ms)
+
+    def test_suffix_added(self, series, tmp_path):
+        path = save_rtt_series(series, tmp_path / "x")
+        assert path.suffix == ".npz"
+
+    def test_inf_preserved(self, series, tmp_path):
+        loaded = load_rtt_series(save_rtt_series(series, tmp_path / "s"))
+        assert np.isinf(loaded.rtt_ms[0, 1])
+
+    def test_real_series_roundtrip(self, tiny_scenario, tmp_path):
+        from repro.core.pipeline import compute_rtt_series
+
+        real = compute_rtt_series(tiny_scenario, ConnectivityMode.HYBRID)
+        loaded = load_rtt_series(save_rtt_series(real, tmp_path / "real"))
+        np.testing.assert_array_equal(loaded.rtt_ms, real.rtt_ms)
+        assert loaded.reachable_fraction() == real.reachable_fraction()
+
+
+class TestExperimentResultRoundtrip:
+    @pytest.fixture()
+    def result(self):
+        return ExperimentResult(
+            experiment_id="figX",
+            title="Test",
+            scale_name="tiny",
+            tables=["a table"],
+            headline={"metric": 1.5, "count": 3},
+            data={
+                "array": np.array([1.0, 2.0, np.nan]),
+                ("bp", 1): 7.0,
+                ("hybrid", None): 9.0,
+                "nested": {"values": np.array([1, 2, 3])},
+            },
+        )
+
+    def test_roundtrip_fields(self, result, tmp_path):
+        loaded = load_experiment_result(save_experiment_result(result, tmp_path / "r"))
+        assert loaded.experiment_id == "figX"
+        assert loaded.title == "Test"
+        assert loaded.tables == ["a table"]
+        assert loaded.headline["metric"] == 1.5
+
+    def test_arrays_become_lists(self, result, tmp_path):
+        loaded = load_experiment_result(save_experiment_result(result, tmp_path / "r"))
+        assert loaded.data["array"][:2] == [1.0, 2.0]
+        assert loaded.data["array"][2] is None  # NaN -> null
+        assert loaded.data["nested"]["values"] == [1, 2, 3]
+
+    def test_tuple_keys_flattened(self, result, tmp_path):
+        loaded = load_experiment_result(save_experiment_result(result, tmp_path / "r"))
+        assert loaded.data["bp|1"] == 7.0
+        assert loaded.data["hybrid|"] == 9.0
+
+    def test_render_still_works(self, result, tmp_path):
+        loaded = load_experiment_result(save_experiment_result(result, tmp_path / "r"))
+        assert "figX" in loaded.render()
+
+
+class TestRealExperimentRoundtrip:
+    def test_fig9_result_roundtrip(self, tmp_path):
+        from repro.experiments import get_experiment
+        from tests.conftest import TINY_SCALE
+
+        result = get_experiment("fig9")(scale=TINY_SCALE)
+        loaded = load_experiment_result(
+            save_experiment_result(result, tmp_path / "fig9")
+        )
+        assert loaded.experiment_id == "fig9"
+        assert loaded.tables == result.tables
+        # Dict keyed by float latitudes -> stringified keys in JSON.
+        assert loaded.data["starlink_fraction_by_lat"]["0.0"] == pytest.approx(
+            result.data["starlink_fraction_by_lat"][0.0]
+        )

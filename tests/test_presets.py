@@ -1,0 +1,55 @@
+"""Unit tests for the FCC-filing constellation presets."""
+
+import pytest
+
+from repro.orbits import presets
+
+
+class TestStarlink:
+    def test_shell_parameters_match_filing(self):
+        shell = presets.starlink_shell()
+        assert shell.num_planes == 72
+        assert shell.sats_per_plane == 22
+        assert shell.altitude_m == 550e3
+        assert shell.inclination_deg == 53.0
+        assert shell.min_elevation_deg == 25.0
+
+    def test_constellation_size(self):
+        assert presets.starlink().num_satellites == 1584
+
+
+class TestKuiper:
+    def test_shell_parameters_match_filing(self):
+        shell = presets.kuiper_shell()
+        assert shell.num_planes == 34
+        assert shell.sats_per_plane == 34
+        assert shell.altitude_m == 630e3
+        assert shell.inclination_deg == 51.9
+        assert shell.min_elevation_deg == 30.0
+
+    def test_constellation_size(self):
+        assert presets.kuiper().num_satellites == 1156
+
+
+class TestPolar:
+    def test_inclination_is_polar(self):
+        assert presets.polar_shell().inclination_deg == 90.0
+
+    def test_starlink_with_polar_has_two_shells(self):
+        constellation = presets.starlink_with_polar()
+        assert len(constellation.shells) == 2
+        assert constellation.shells[0].inclination_deg == 53.0
+        assert constellation.shells[1].inclination_deg == 90.0
+
+
+class TestPresetLookup:
+    def test_known_names(self):
+        for name in presets.PRESET_NAMES:
+            assert presets.preset(name).num_satellites > 0
+
+    def test_unknown_name_raises_with_hint(self):
+        with pytest.raises(KeyError, match="starlink"):
+            presets.preset("oneweb")
+
+    def test_presets_are_fresh_instances(self):
+        assert presets.starlink() is not presets.starlink()

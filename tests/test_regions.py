@@ -1,0 +1,33 @@
+"""Tests for the country-to-continent mapping."""
+
+import pytest
+
+from repro.ground.cities import load_cities, real_city_count
+from repro.ground.regions import CONTINENTS, continent_of, corridor_name
+
+
+class TestContinentOf:
+    def test_every_dataset_country_mapped(self):
+        for city in load_cities(real_city_count()):
+            assert continent_of(city.country) in CONTINENTS
+
+    def test_known_values(self):
+        assert continent_of("Brazil") == "South America"
+        assert continent_of("South Africa") == "Africa"
+        assert continent_of("Japan") == "Asia"
+        assert continent_of("Australia") == "Oceania"
+        assert continent_of("USA") == "North America"
+        assert continent_of("France") == "Europe"
+
+    def test_unknown_country_raises(self):
+        with pytest.raises(KeyError, match="Atlantis"):
+            continent_of("Atlantis")
+
+
+class TestCorridorName:
+    def test_sorted_canonical(self):
+        assert corridor_name("Asia", "Africa") == "Africa - Asia"
+        assert corridor_name("Africa", "Asia") == "Africa - Asia"
+
+    def test_intra(self):
+        assert corridor_name("Europe", "Europe") == "intra-Europe"

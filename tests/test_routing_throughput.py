@@ -1,0 +1,170 @@
+"""Unit and integration tests for routing + throughput evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.flows.routing import route_traffic
+from repro.flows.throughput import evaluate_throughput
+from repro.network.graph import ConnectivityMode
+from repro.network.links import LinkCapacities
+
+
+@pytest.fixture(scope="module")
+def pairs(tiny_scenario):
+    # module-scoped alias; tiny_scenario itself is session-scoped.
+    return tiny_scenario.pairs[:10]
+
+
+class TestRouteTraffic:
+    def test_k1_one_subflow_per_routable_pair(self, tiny_hybrid_graph, pairs):
+        routed = route_traffic(tiny_hybrid_graph, pairs, k=1)
+        assert routed.num_subflows + len(routed.unrouted_pairs) == len(pairs)
+
+    def test_k4_at_most_4_subflows_per_pair(self, tiny_hybrid_graph, pairs):
+        routed = route_traffic(tiny_hybrid_graph, pairs, k=4)
+        counts = {}
+        for subflow in routed.subflows:
+            counts[subflow.pair_index] = counts.get(subflow.pair_index, 0) + 1
+        assert all(1 <= c <= 4 for c in counts.values())
+
+    def test_subflow_edges_match_path(self, tiny_hybrid_graph, pairs):
+        routed = route_traffic(tiny_hybrid_graph, pairs, k=2)
+        graph = tiny_hybrid_graph
+        for subflow in routed.subflows[:5]:
+            assert len(subflow.edge_ids) == subflow.path.hops
+            for edge_id, (u, v) in zip(subflow.edge_ids, subflow.path.edge_pairs()):
+                edge = graph.edges[edge_id]
+                assert {int(edge[0]), int(edge[1])} == {u, v}
+
+    def test_subflows_of_pair_edge_disjoint(self, tiny_hybrid_graph, pairs):
+        routed = route_traffic(tiny_hybrid_graph, pairs, k=4)
+        by_pair = {}
+        for subflow in routed.subflows:
+            by_pair.setdefault(subflow.pair_index, []).append(subflow)
+        for subflows in by_pair.values():
+            seen = set()
+            for subflow in subflows:
+                for edge_id in subflow.edge_ids:
+                    assert edge_id not in seen
+                    seen.add(edge_id)
+
+    def test_paths_start_and_end_at_cities(self, tiny_hybrid_graph, pairs):
+        routed = route_traffic(tiny_hybrid_graph, pairs, k=1)
+        graph = tiny_hybrid_graph
+        for subflow in routed.subflows:
+            pair = pairs[subflow.pair_index]
+            assert subflow.path.nodes[0] == graph.gt_node(pair.a)
+            assert subflow.path.nodes[-1] == graph.gt_node(pair.b)
+
+
+class TestEvaluateThroughput:
+    def test_aggregate_positive(self, tiny_hybrid_graph, pairs):
+        result = evaluate_throughput(tiny_hybrid_graph, pairs, k=1)
+        assert result.aggregate_gbps > 0
+
+    def test_hybrid_beats_bp(self, tiny_bp_graph, tiny_hybrid_graph, tiny_scenario):
+        pairs = tiny_scenario.pairs
+        bp = evaluate_throughput(tiny_bp_graph, pairs, k=1)
+        hybrid = evaluate_throughput(tiny_hybrid_graph, pairs, k=1)
+        assert hybrid.aggregate_bps > bp.aggregate_bps
+
+    def test_multipath_never_hurts(self, tiny_hybrid_graph, pairs):
+        k1 = evaluate_throughput(tiny_hybrid_graph, pairs, k=1)
+        k4 = evaluate_throughput(tiny_hybrid_graph, pairs, k=4)
+        assert k4.aggregate_bps >= k1.aggregate_bps * (1 - 1e-9)
+
+    def test_capacity_scaling(self, tiny_hybrid_graph, pairs):
+        base = evaluate_throughput(tiny_hybrid_graph, pairs, k=1)
+        doubled = evaluate_throughput(
+            tiny_hybrid_graph,
+            pairs,
+            k=1,
+            capacities=LinkCapacities(gt_sat_bps=40e9, isl_bps=200e9),
+        )
+        assert doubled.aggregate_bps == pytest.approx(2 * base.aggregate_bps, rel=1e-6)
+
+    def test_per_pair_rates_sum_to_aggregate(self, tiny_hybrid_graph, pairs):
+        result = evaluate_throughput(tiny_hybrid_graph, pairs, k=4)
+        per_pair = result.per_pair_rates_bps(len(pairs))
+        assert per_pair.sum() == pytest.approx(result.aggregate_bps, rel=1e-9)
+
+    def test_link_loads_feasible(self, tiny_hybrid_graph, pairs):
+        caps = LinkCapacities()
+        result = evaluate_throughput(tiny_hybrid_graph, pairs, k=4, capacities=caps)
+        edge_caps = tiny_hybrid_graph.edge_capacities(caps)
+        assert np.all(result.allocation.link_loads <= edge_caps * (1 + 1e-9))
+
+    def test_no_pairs(self, tiny_hybrid_graph):
+        result = evaluate_throughput(tiny_hybrid_graph, [], k=1)
+        assert result.aggregate_bps == 0.0
+
+    def test_isl_capacity_sweep_monotone(self, tiny_hybrid_graph, tiny_scenario):
+        """More ISL capacity can never reduce hybrid throughput."""
+        pairs = tiny_scenario.pairs
+        previous = 0.0
+        for ratio in (0.5, 1.0, 3.0, 5.0):
+            caps = LinkCapacities().scaled_isl(ratio)
+            result = evaluate_throughput(tiny_hybrid_graph, pairs, k=4, capacities=caps)
+            assert result.aggregate_bps >= previous * (1 - 1e-9)
+            previous = result.aggregate_bps
+
+
+class TestDemandWeightedThroughput:
+    def test_weighted_rates_favor_heavy_pairs(self, tiny_hybrid_graph, tiny_scenario):
+        pairs = tiny_scenario.pairs[:8]
+        weights = np.ones(len(pairs))
+        weights[0] = 10.0
+        plain = evaluate_throughput(tiny_hybrid_graph, pairs, k=1)
+        weighted = evaluate_throughput(
+            tiny_hybrid_graph, pairs, k=1, pair_weights=weights
+        )
+        plain_rate = plain.per_pair_rates_bps(len(pairs))[0]
+        weighted_rate = weighted.per_pair_rates_bps(len(pairs))[0]
+        assert weighted_rate >= plain_rate
+
+    def test_uniform_weights_match_plain(self, tiny_hybrid_graph, tiny_scenario):
+        pairs = tiny_scenario.pairs[:10]
+        plain = evaluate_throughput(tiny_hybrid_graph, pairs, k=2)
+        weighted = evaluate_throughput(
+            tiny_hybrid_graph, pairs, k=2, pair_weights=np.full(len(pairs), 2.5)
+        )
+        np.testing.assert_allclose(
+            weighted.allocation.rates, plain.allocation.rates, rtol=1e-9
+        )
+
+    def test_weight_length_validated(self, tiny_hybrid_graph, tiny_scenario):
+        with pytest.raises(ValueError):
+            evaluate_throughput(
+                tiny_hybrid_graph,
+                tiny_scenario.pairs[:5],
+                k=1,
+                pair_weights=np.ones(3),
+            )
+
+    def test_weighted_feasible(self, tiny_hybrid_graph, tiny_scenario):
+        from repro.network.links import LinkCapacities
+
+        pairs = tiny_scenario.pairs
+        rng = np.random.default_rng(4)
+        result = evaluate_throughput(
+            tiny_hybrid_graph, pairs, k=2,
+            pair_weights=rng.uniform(0.5, 5.0, len(pairs)),
+        )
+        caps = tiny_hybrid_graph.edge_capacities(LinkCapacities())
+        assert np.all(result.allocation.link_loads <= caps * (1 + 1e-9))
+
+
+class TestThroughputSeries:
+    def test_series_shape_and_positivity(self, tiny_scenario):
+        from repro.flows.throughput import throughput_series_gbps
+
+        series = throughput_series_gbps(tiny_scenario, ConnectivityMode.HYBRID, k=1)
+        assert series.shape == (len(tiny_scenario.times_s),)
+        assert np.all(series > 0)
+
+    def test_hybrid_dominates_bp_at_every_snapshot(self, tiny_scenario):
+        from repro.flows.throughput import throughput_series_gbps
+
+        bp = throughput_series_gbps(tiny_scenario, ConnectivityMode.BP_ONLY, k=1)
+        hybrid = throughput_series_gbps(tiny_scenario, ConnectivityMode.HYBRID, k=1)
+        assert np.all(hybrid >= bp)

@@ -1,0 +1,84 @@
+"""Unit tests for load-aware (traffic-engineering) routing."""
+
+import numpy as np
+import pytest
+
+from repro.flows.routing import route_traffic
+from repro.flows.terouting import route_load_aware
+from repro.flows.throughput import evaluate_throughput
+
+
+class TestRouteLoadAware:
+    def test_validation(self, tiny_hybrid_graph, tiny_scenario):
+        with pytest.raises(ValueError):
+            route_load_aware(tiny_hybrid_graph, tiny_scenario.pairs, gamma=-1.0)
+        with pytest.raises(ValueError):
+            route_load_aware(
+                tiny_hybrid_graph, tiny_scenario.pairs, paths_per_pair=0
+            )
+
+    def test_gamma_zero_matches_shortest_path_lengths(
+        self, tiny_hybrid_graph, tiny_scenario
+    ):
+        """With no congestion penalty every pair gets its shortest path."""
+        te = route_load_aware(tiny_hybrid_graph, tiny_scenario.pairs, gamma=0.0)
+        sp = route_traffic(tiny_hybrid_graph, tiny_scenario.pairs, k=1)
+        te_by_pair = {s.pair_index: s.path.length_m for s in te.subflows}
+        sp_by_pair = {s.pair_index: s.path.length_m for s in sp.subflows}
+        assert set(te_by_pair) == set(sp_by_pair)
+        for pair_index, length in sp_by_pair.items():
+            assert te_by_pair[pair_index] == pytest.approx(length, rel=1e-9)
+
+    def test_paths_are_valid(self, tiny_hybrid_graph, tiny_scenario):
+        te = route_load_aware(tiny_hybrid_graph, tiny_scenario.pairs, gamma=3.0)
+        for subflow in te.subflows:
+            pair = tiny_scenario.pairs[subflow.pair_index]
+            assert subflow.path.nodes[0] == tiny_hybrid_graph.gt_node(pair.a)
+            assert subflow.path.nodes[-1] == tiny_hybrid_graph.gt_node(pair.b)
+            # Edge ids consistent with the node path.
+            assert len(subflow.edge_ids) == subflow.path.hops
+
+    def test_true_lengths_reported(self, tiny_hybrid_graph, tiny_scenario):
+        """Path lengths must be propagation distances, not inflated weights."""
+        te = route_load_aware(tiny_hybrid_graph, tiny_scenario.pairs, gamma=5.0)
+        for subflow in te.subflows[:10]:
+            recomputed = float(
+                np.sum(tiny_hybrid_graph.edge_dist_m[subflow.edge_ids])
+            )
+            assert subflow.path.length_m == pytest.approx(recomputed, rel=1e-9)
+
+    def test_lengths_at_least_shortest(self, tiny_hybrid_graph, tiny_scenario):
+        te = route_load_aware(tiny_hybrid_graph, tiny_scenario.pairs, gamma=3.0)
+        sp = route_traffic(tiny_hybrid_graph, tiny_scenario.pairs, k=1)
+        sp_by_pair = {s.pair_index: s.path.length_m for s in sp.subflows}
+        for subflow in te.subflows:
+            assert subflow.path.length_m >= sp_by_pair[subflow.pair_index] * (1 - 1e-9)
+
+    def test_multipath_count(self, tiny_hybrid_graph, tiny_scenario):
+        te = route_load_aware(
+            tiny_hybrid_graph, tiny_scenario.pairs, gamma=3.0, paths_per_pair=3
+        )
+        counts = {}
+        for subflow in te.subflows:
+            counts[subflow.pair_index] = counts.get(subflow.pair_index, 0) + 1
+        assert all(c == 3 for c in counts.values())
+
+    def test_throughput_not_worse_than_single_shortest(
+        self, tiny_hybrid_graph, tiny_scenario
+    ):
+        """The conjecture's direction at tiny scale (weak form)."""
+        pairs = tiny_scenario.pairs
+        sp = evaluate_throughput(tiny_hybrid_graph, pairs, k=1)
+        te_routing = route_load_aware(tiny_hybrid_graph, pairs, gamma=3.0)
+        te = evaluate_throughput(tiny_hybrid_graph, pairs, routing=te_routing)
+        assert te.aggregate_bps >= 0.9 * sp.aggregate_bps
+
+    def test_feasible_with_allocator(self, tiny_hybrid_graph, tiny_scenario):
+        from repro.network.links import LinkCapacities
+
+        te_routing = route_load_aware(tiny_hybrid_graph, tiny_scenario.pairs)
+        result = evaluate_throughput(
+            tiny_hybrid_graph, tiny_scenario.pairs, routing=te_routing
+        )
+        caps = tiny_hybrid_graph.edge_capacities(LinkCapacities())
+        assert np.all(result.allocation.link_loads <= caps * (1 + 1e-9))

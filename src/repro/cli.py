@@ -7,7 +7,13 @@ Commands
 ``run <id> [...]``
     Run experiments and print their rendered tables. ``--scale`` picks a
     named scale (small/medium/full/throughput-bench); ``--out DIR``
-    additionally writes each rendering to ``DIR/<id>.txt``.
+    additionally writes each rendering to ``DIR/<id>.txt`` plus the
+    machine-readable ``DIR/<id>.json``. Batches are fault-tolerant: a
+    failing experiment is recorded and the rest still run (``--fail-fast``
+    aborts instead), with an end-of-run summary and non-zero exit code.
+    ``--resume DIR`` checkpoints RTT sweeps so interrupted runs pick up
+    where they left off; ``--inject-fault sat:0.05`` degrades every
+    scenario under seeded component outages (see ``repro.faults``).
 ``info``
     Print the constellation presets and scale definitions.
 ``scenario``
@@ -19,7 +25,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 
 from repro import __version__
@@ -62,6 +67,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="scale override (default: experiment-specific)",
     )
     run.add_argument("--out", type=Path, default=None, help="directory for outputs")
+    stop_policy = run.add_mutually_exclusive_group()
+    stop_policy.add_argument(
+        "--keep-going",
+        action="store_true",
+        default=True,
+        help="run remaining experiments after a failure (default)",
+    )
+    stop_policy.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort the batch at the first failing experiment",
+    )
+    run.add_argument(
+        "--resume",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "checkpoint RTT sweeps under DIR and resume from whatever a "
+            "previous interrupted run left there"
+        ),
+    )
+    run.add_argument(
+        "--inject-fault",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "seeded component-outage spec, e.g. 'sat:0.05' or "
+            "'sat:0.05,relay:0.1,seed:7'; repeatable (specs merge)"
+        ),
+    )
 
     report = sub.add_parser("report", help="run experiments and write a Markdown report")
     report.add_argument("ids", nargs="*", help="experiment ids (default: all)")
@@ -120,26 +157,34 @@ def _cmd_info() -> int:
     return 0
 
 
-def _cmd_run(ids: list[str], scale_name: str | None, out: Path | None) -> int:
-    experiments = all_experiments()
-    selected = sorted(experiments) if ids == ["all"] else ids
-    unknown = [eid for eid in selected if eid not in experiments]
-    if unknown:
-        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
-        print(f"known: {', '.join(sorted(experiments))}", file=sys.stderr)
+def _cmd_run(args) -> int:
+    from repro.core.runner import UnknownExperimentError, run_experiments
+    from repro.faults import parse_fault_spec
+
+    fault_spec = None
+    if args.inject_fault:
+        try:
+            fault_spec = parse_fault_spec(",".join(args.inject_fault))
+        except ValueError as exc:
+            print(f"bad --inject-fault spec: {exc}", file=sys.stderr)
+            return 2
+    scale = _SCALES[args.scale]() if args.scale else None
+    try:
+        summary = run_experiments(
+            args.ids,
+            scale=scale,
+            keep_going=not args.fail_fast,
+            out_dir=args.out,
+            resume_dir=args.resume,
+            fault_spec=fault_spec,
+        )
+    except UnknownExperimentError as exc:
+        print(f"unknown experiments: {', '.join(exc.unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(exc.known)}", file=sys.stderr)
         return 2
-    scale = _SCALES[scale_name]() if scale_name else None
-    if out is not None:
-        out.mkdir(parents=True, exist_ok=True)
-    for eid in selected:
-        started = time.time()
-        result = experiments[eid](scale=scale) if scale else experiments[eid]()
-        text = result.render()
-        print(text)
-        print(f"[{eid}: {time.time() - started:.1f}s]\n")
-        if out is not None:
-            (out / f"{eid}.txt").write_text(text + "\n")
-    return 0
+    if len(summary.outcomes) > 1 or summary.failures:
+        print(summary.format_summary())
+    return summary.exit_code
 
 
 def _cmd_report(ids, scale_name: str | None, out: Path) -> int:
@@ -184,7 +229,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "info":
         return _cmd_info()
     if args.command == "run":
-        return _cmd_run(args.ids, args.scale, args.out)
+        return _cmd_run(args)
     if args.command == "report":
         return _cmd_report(args.ids or None, args.scale, args.out)
     if args.command == "scenario":

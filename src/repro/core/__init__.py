@@ -1,5 +1,12 @@
 """Core comparison engine: scenarios, pipelines, metrics, comparisons."""
 
+from repro.core.checkpoint import (
+    CheckpointMismatchError,
+    RttCheckpoint,
+    checkpoint_for,
+    checkpoint_root,
+    scenario_fingerprint,
+)
 from repro.core.comparison import LatencyComparison, compare_latency
 from repro.core.metrics import (
     PairRttStats,
@@ -7,7 +14,20 @@ from repro.core.metrics import (
     distribution_summary,
     rtt_stats,
 )
-from repro.core.parallel import compute_rtt_series_parallel, default_worker_count
+from repro.core.parallel import (
+    FaultPolicy,
+    SnapshotFailure,
+    SweepError,
+    compute_rtt_series_parallel,
+    default_worker_count,
+)
+from repro.core.runner import (
+    ExperimentFailure,
+    ExperimentOutcome,
+    RunSummary,
+    UnknownExperimentError,
+    run_experiments,
+)
 from repro.core.pipeline import (
     RttSeries,
     compute_rtt_series,
@@ -24,6 +44,19 @@ __all__ = [
     "compute_rtt_series",
     "compute_rtt_series_parallel",
     "default_worker_count",
+    "RttCheckpoint",
+    "CheckpointMismatchError",
+    "checkpoint_for",
+    "checkpoint_root",
+    "scenario_fingerprint",
+    "FaultPolicy",
+    "SnapshotFailure",
+    "SweepError",
+    "ExperimentFailure",
+    "ExperimentOutcome",
+    "RunSummary",
+    "UnknownExperimentError",
+    "run_experiments",
     "pair_paths_on_graph",
     "pair_path_at",
     "PairRttStats",

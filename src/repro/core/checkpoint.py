@@ -1,0 +1,282 @@
+"""Checkpoint/resume for long RTT sweeps.
+
+Full-scale runs (96 snapshots x 2 modes over a ~65k-node graph) take
+hours; a crash, OOM kill, or Ctrl-C must not lose completed work. This
+module checkpoints per-snapshot RTT rows to disk as they finish:
+
+* each snapshot becomes one atomic ``.npz`` shard (written to a temp
+  file in the target directory, then ``os.replace``-d into place, so a
+  crash mid-write never leaves a truncated artifact);
+* a ``manifest.json`` pins the sweep's shape (mode, snapshot times,
+  pair count) so a resume against the wrong configuration fails loudly
+  instead of silently mixing incompatible rows.
+
+:func:`repro.core.pipeline.compute_rtt_series` and
+:func:`repro.core.parallel.compute_rtt_series_parallel` both accept a
+checkpoint and skip already-completed snapshots. The *checkpoint root*
+context (:func:`checkpoint_root`) lets an orchestrator — ``repro run
+--resume DIR`` — turn checkpointing on for every sweep executed inside
+it without threading a parameter through each experiment: checkpoint
+directories are derived from a scenario fingerprint, so distinct
+configurations never collide under one root.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import re
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.network.graph import ConnectivityMode
+
+if TYPE_CHECKING:  # circular at runtime: pipeline imports this module lazily
+    from repro.core.pipeline import RttSeries
+    from repro.core.scenario import Scenario
+
+__all__ = [
+    "CheckpointMismatchError",
+    "RttCheckpoint",
+    "active_checkpoint_for",
+    "active_checkpoint_root",
+    "atomic_write_bytes",
+    "checkpoint_for",
+    "checkpoint_root",
+    "scenario_fingerprint",
+    "set_checkpoint_root",
+]
+
+_MANIFEST_NAME = "manifest.json"
+_SHARD_PATTERN = re.compile(r"^snap_(\d{5})\.npz$")
+
+
+class CheckpointMismatchError(ValueError):
+    """A checkpoint directory belongs to a different sweep configuration."""
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temp file lives in the destination directory so the final rename
+    never crosses filesystems; readers see either the old content or the
+    new, never a truncated mix.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def scenario_fingerprint(scenario: "Scenario", mode: ConnectivityMode) -> str:
+    """Stable short hash identifying (scenario configuration, mode).
+
+    Built from the scenario's frozen-dataclass repr (constellation,
+    scale, traffic seed, ablation knobs...) plus the connectivity mode
+    and any ambient fault-injection spec, so checkpoints from different
+    configurations land in different directories under one root.
+    """
+    from repro.faults import active_fault_spec
+
+    spec = active_fault_spec()
+    key = f"{scenario!r}|{mode.value}|{'' if spec is None else spec.describe()}"
+    return hashlib.sha1(key.encode()).hexdigest()[:16]
+
+
+@dataclass
+class RttCheckpoint:
+    """Per-snapshot RTT shards plus a validating manifest, in one directory."""
+
+    directory: Path
+    mode: ConnectivityMode
+    times_s: np.ndarray
+    num_pairs: int
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | Path,
+        mode: ConnectivityMode,
+        times_s: np.ndarray,
+        num_pairs: int,
+    ) -> "RttCheckpoint":
+        """Open (creating if needed) a checkpoint directory for one sweep.
+
+        Raises :class:`CheckpointMismatchError` when the directory's
+        manifest records a different mode, pair count, or snapshot grid.
+        """
+        directory = Path(directory)
+        times_s = np.asarray(times_s, dtype=float)
+        checkpoint = cls(
+            directory=directory, mode=mode, times_s=times_s, num_pairs=int(num_pairs)
+        )
+        manifest_path = directory / _MANIFEST_NAME
+        expected = {
+            "version": 1,
+            "mode": mode.value,
+            "num_pairs": int(num_pairs),
+            "times_s": [float(t) for t in times_s],
+        }
+        if manifest_path.exists():
+            try:
+                found = json.loads(manifest_path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                raise CheckpointMismatchError(
+                    f"unreadable checkpoint manifest {manifest_path}: {exc}"
+                ) from exc
+            for key, value in expected.items():
+                if found.get(key) != value:
+                    raise CheckpointMismatchError(
+                        f"checkpoint {directory} was written for a different "
+                        f"sweep: {key}={found.get(key)!r}, expected {value!r}"
+                    )
+        else:
+            atomic_write_bytes(manifest_path, json.dumps(expected, indent=1).encode())
+        return checkpoint
+
+    @property
+    def num_snapshots(self) -> int:
+        return len(self.times_s)
+
+    def shard_path(self, index: int) -> Path:
+        """Path of the ``.npz`` shard holding snapshot ``index``."""
+        if not 0 <= index < self.num_snapshots:
+            raise IndexError(f"snapshot index {index} out of range")
+        return self.directory / f"snap_{index:05d}.npz"
+
+    def completed_indices(self) -> set[int]:
+        """Snapshot indices with a shard on disk (atomic writes: all valid)."""
+        completed = set()
+        if not self.directory.is_dir():
+            return completed
+        for entry in os.listdir(self.directory):
+            match = _SHARD_PATTERN.match(entry)
+            if match:
+                index = int(match.group(1))
+                if index < self.num_snapshots:
+                    completed.add(index)
+        return completed
+
+    def store_snapshot(self, index: int, rtts_ms: np.ndarray) -> Path:
+        """Atomically persist one snapshot's RTT row (shape ``(num_pairs,)``)."""
+        rtts_ms = np.asarray(rtts_ms, dtype=float)
+        if rtts_ms.shape != (self.num_pairs,):
+            raise ValueError(
+                f"snapshot row has shape {rtts_ms.shape}, "
+                f"expected ({self.num_pairs},)"
+            )
+        buffer = io.BytesIO()
+        np.savez_compressed(
+            buffer, rtt_ms=rtts_ms, time_s=np.float64(self.times_s[index])
+        )
+        return atomic_write_bytes(self.shard_path(index), buffer.getvalue())
+
+    def load_snapshot(self, index: int) -> np.ndarray:
+        """Load one checkpointed snapshot row."""
+        with np.load(self.shard_path(index), allow_pickle=False) as data:
+            row = np.asarray(data["rtt_ms"], dtype=float)
+        if row.shape != (self.num_pairs,):
+            raise CheckpointMismatchError(
+                f"shard {self.shard_path(index)} holds {row.shape[0]} pairs, "
+                f"expected {self.num_pairs}"
+            )
+        return row
+
+    def load_completed(self) -> dict[int, np.ndarray]:
+        """All checkpointed rows, keyed by snapshot index."""
+        return {index: self.load_snapshot(index) for index in self.completed_indices()}
+
+    def is_complete(self) -> bool:
+        """True once every snapshot has a checkpointed shard."""
+        return len(self.completed_indices()) == self.num_snapshots
+
+    def assemble(self) -> "RttSeries":
+        """Build the full :class:`RttSeries` from shards (must be complete)."""
+        from repro.core.pipeline import RttSeries
+
+        missing = sorted(set(range(self.num_snapshots)) - self.completed_indices())
+        if missing:
+            raise CheckpointMismatchError(
+                f"checkpoint {self.directory} is incomplete: "
+                f"missing snapshots {missing}"
+            )
+        rtt = np.stack(
+            [self.load_snapshot(i) for i in range(self.num_snapshots)], axis=1
+        )
+        return RttSeries(mode=self.mode, times_s=self.times_s, rtt_ms=rtt)
+
+
+# --- Ambient checkpoint root -------------------------------------------------
+#
+# ``repro run --resume DIR`` wants every RTT sweep in the batch to
+# checkpoint under DIR without rewriting each experiment to accept a
+# checkpoint argument. A module-level root (set via context manager)
+# plus per-scenario fingerprinted subdirectories gives exactly that.
+
+_ACTIVE_ROOT: Path | None = None
+
+
+def set_checkpoint_root(root: str | Path | None) -> Path | None:
+    """Set the ambient checkpoint root; returns the previous value."""
+    global _ACTIVE_ROOT
+    previous = _ACTIVE_ROOT
+    _ACTIVE_ROOT = None if root is None else Path(root)
+    return previous
+
+
+def active_checkpoint_root() -> Path | None:
+    """The ambient checkpoint root, or ``None`` when checkpointing is off."""
+    return _ACTIVE_ROOT
+
+
+@contextmanager
+def checkpoint_root(root: str | Path | None):
+    """Context manager: all RTT sweeps inside checkpoint under ``root``."""
+    previous = set_checkpoint_root(root)
+    try:
+        yield None if root is None else Path(root)
+    finally:
+        set_checkpoint_root(previous)
+
+
+def checkpoint_for(
+    root: str | Path, scenario: "Scenario", mode: ConnectivityMode
+) -> RttCheckpoint:
+    """The checkpoint for one (scenario, mode) sweep under ``root``."""
+    directory = Path(root) / f"{mode.value}-{scenario_fingerprint(scenario, mode)}"
+    return RttCheckpoint.open(
+        directory,
+        mode=mode,
+        times_s=scenario.times_s,
+        num_pairs=len(scenario.pairs),
+    )
+
+
+def active_checkpoint_for(
+    scenario: "Scenario", mode: ConnectivityMode
+) -> RttCheckpoint | None:
+    """Checkpoint under the ambient root, or ``None`` when none is set."""
+    if _ACTIVE_ROOT is None:
+        return None
+    return checkpoint_for(_ACTIVE_ROOT, scenario, mode)

@@ -1,10 +1,26 @@
-"""Parallel snapshot evaluation for full-scale runs.
+"""Fault-tolerant parallel snapshot evaluation for full-scale runs.
 
 Snapshots are embarrassingly parallel — each builds its own graph and
 runs its own batched Dijkstra — so the paper-scale configuration (96
 snapshots x 2 modes over a ~65k-node graph) parallelizes almost
 perfectly across cores. This module provides a multiprocessing variant
 of :func:`repro.core.pipeline.compute_rtt_series` with identical output.
+
+Long sweeps must survive partial failure, so the pool is wrapped in a
+resilience layer governed by :class:`FaultPolicy`:
+
+* a per-snapshot timeout bounds hung workers;
+* failed snapshots are retried with exponential backoff, on a fresh
+  pool when the old one died (``BrokenProcessPool`` — e.g. a worker
+  OOM-killed mid-task);
+* snapshots that keep failing fall back to serial in-process
+  re-execution; only if that also fails does the sweep raise a
+  :class:`SweepError` carrying structured :class:`SnapshotFailure`
+  records.
+
+Combined with :mod:`repro.core.checkpoint`, every completed snapshot is
+persisted as it lands, so even a hard kill (power loss, SIGKILL) loses
+at most the in-flight snapshots and a later run resumes from disk.
 
 The scenario is shipped to workers once (pool initializer), not once
 per snapshot; on fork-based platforms (Linux) even that copy is
@@ -15,18 +31,88 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
+from repro.core.checkpoint import RttCheckpoint, active_checkpoint_for
 from repro.core.pipeline import RttSeries, _pair_rtts_on_graph
 from repro.core.scenario import Scenario
 from repro.network.graph import ConnectivityMode
 
-__all__ = ["compute_rtt_series_parallel", "default_worker_count"]
+__all__ = [
+    "FaultPolicy",
+    "SnapshotFailure",
+    "SweepError",
+    "compute_rtt_series_parallel",
+    "default_worker_count",
+]
 
 # Worker-process state, set by the pool initializer.
 _WORKER_SCENARIO: Scenario | None = None
 _WORKER_MODE: ConnectivityMode | None = None
+_WORKER_FAULT_HOOK: Callable[[int, float], None] | None = None
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How hard the parallel sweep fights for each snapshot.
+
+    ``max_attempts`` counts pool rounds (1 = no retries); the wait
+    before round *n* is ``backoff_base_s * 2**(n - 1)``.
+    ``snapshot_timeout_s`` bounds each result wait (``None`` = forever);
+    a timeout marks the pool suspect, so the next round gets a fresh
+    one. ``serial_fallback`` re-runs still-failing snapshots in-process
+    as the last resort.
+    """
+
+    max_attempts: int = 3
+    snapshot_timeout_s: float | None = None
+    backoff_base_s: float = 0.5
+    serial_fallback: bool = True
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be non-negative")
+        if self.snapshot_timeout_s is not None and self.snapshot_timeout_s <= 0:
+            raise ValueError("snapshot_timeout_s must be positive (or None)")
+
+
+@dataclass(frozen=True)
+class SnapshotFailure:
+    """One snapshot the sweep could not compute, with its failure story."""
+
+    index: int
+    time_s: float
+    attempts: int
+    error: str
+
+
+class SweepError(RuntimeError):
+    """A sweep finished with irrecoverable snapshots.
+
+    Carries the structured :class:`SnapshotFailure` records; snapshots
+    that *did* complete are already checkpointed (when a checkpoint is
+    active), so a resumed run only re-attempts the failures.
+    """
+
+    def __init__(self, failures: list[SnapshotFailure]):
+        self.failures = list(failures)
+        detail = "; ".join(
+            f"snapshot {f.index} (t={f.time_s:g}s, {f.attempts} attempt(s)): {f.error}"
+            for f in self.failures[:5]
+        )
+        if len(self.failures) > 5:
+            detail += f"; ... {len(self.failures) - 5} more"
+        super().__init__(
+            f"{len(self.failures)} snapshot(s) failed irrecoverably: {detail}"
+        )
 
 
 def default_worker_count() -> int:
@@ -34,10 +120,15 @@ def default_worker_count() -> int:
     return max((os.cpu_count() or 2) - 1, 1)
 
 
-def _init_worker(scenario: Scenario, mode: ConnectivityMode) -> None:
-    global _WORKER_SCENARIO, _WORKER_MODE
+def _init_worker(
+    scenario: Scenario,
+    mode: ConnectivityMode,
+    fault_hook: Callable[[int, float], None] | None = None,
+) -> None:
+    global _WORKER_SCENARIO, _WORKER_MODE, _WORKER_FAULT_HOOK
     _WORKER_SCENARIO = scenario
     _WORKER_MODE = mode
+    _WORKER_FAULT_HOOK = fault_hook
 
 
 def _snapshot_rtts(time_s: float) -> np.ndarray:
@@ -46,37 +137,158 @@ def _snapshot_rtts(time_s: float) -> np.ndarray:
     return _pair_rtts_on_graph(graph, _WORKER_SCENARIO.pairs)
 
 
+def _eval_snapshot(index: int, time_s: float) -> np.ndarray:
+    """Worker task: one snapshot's RTT row (fault hook first, for tests)."""
+    if _WORKER_FAULT_HOOK is not None:
+        _WORKER_FAULT_HOOK(index, time_s)
+    return _snapshot_rtts(time_s)
+
+
 def compute_rtt_series_parallel(
     scenario: Scenario,
     mode: ConnectivityMode,
     processes: int | None = None,
+    *,
+    checkpoint: RttCheckpoint | None = None,
+    policy: FaultPolicy | None = None,
+    progress: Callable[[int, int], None] | None = None,
+    fault_hook: Callable[[int, float], None] | None = None,
 ) -> RttSeries:
     """Drop-in parallel replacement for ``compute_rtt_series``.
 
     Results are bit-identical to the serial version (each snapshot's
     computation is deterministic and independent). Falls back to the
     serial path when only one process is requested.
+
+    ``checkpoint`` (or the ambient checkpoint root, see
+    :mod:`repro.core.checkpoint`) makes the sweep resumable: completed
+    snapshots are loaded from disk instead of recomputed, and every new
+    row is persisted the moment it lands. ``policy`` tunes the
+    retry/timeout/fallback behaviour. ``progress`` is called as
+    ``progress(done, total)`` as rows land. ``fault_hook`` is a test
+    seam: a picklable callable run inside each worker before the real
+    computation (raise/hang/exit to simulate crashes); the serial
+    fallback and resumed rows never invoke it.
     """
     times = scenario.times_s
+    total = len(times)
+    policy = policy or FaultPolicy()
+    if checkpoint is None:
+        checkpoint = active_checkpoint_for(scenario, mode)
+
+    rows: dict[int, np.ndarray] = {}
+    if checkpoint is not None:
+        rows = checkpoint.load_completed()
+        if rows and progress is not None:
+            progress(len(rows), total)
+    pending = [i for i in range(total) if i not in rows]
+
+    if not pending:
+        rtt = np.stack([rows[i] for i in range(total)], axis=1)
+        return RttSeries(mode=mode, times_s=times, rtt_ms=rtt)
+
     processes = processes or default_worker_count()
-    if processes <= 1 or len(times) == 1:
+    if processes <= 1 or total == 1:
         from repro.core.pipeline import compute_rtt_series
 
-        return compute_rtt_series(scenario, mode)
+        return compute_rtt_series(
+            scenario, mode, progress=progress, checkpoint=checkpoint
+        )
 
     # Materialize lazy state before forking so workers don't redo it.
     scenario.ground
     scenario.pairs
+    pairs = scenario.pairs
 
     context = multiprocessing.get_context(
         "fork" if "fork" in multiprocessing.get_all_start_methods() else None
     )
-    with context.Pool(
-        processes=min(processes, len(times)),
-        initializer=_init_worker,
-        initargs=(scenario, mode),
-    ) as pool:
-        rows = pool.map(_snapshot_rtts, [float(t) for t in times])
 
-    rtt = np.stack(rows, axis=1)
+    def make_executor() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=min(processes, len(pending)),
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(scenario, mode, fault_hook),
+        )
+
+    def record(index: int, row: np.ndarray) -> None:
+        rows[index] = row
+        if checkpoint is not None:
+            checkpoint.store_snapshot(index, row)
+        if progress is not None:
+            progress(len(rows), total)
+
+    attempts = dict.fromkeys(pending, 0)
+    errors: dict[int, str] = {}
+    remaining = list(pending)
+    executor = make_executor()
+    try:
+        for round_number in range(policy.max_attempts):
+            if not remaining:
+                break
+            if round_number and policy.backoff_base_s:
+                time.sleep(policy.backoff_base_s * 2 ** (round_number - 1))
+            futures = {
+                index: executor.submit(_eval_snapshot, index, float(times[index]))
+                for index in remaining
+            }
+            failed: list[int] = []
+            pool_suspect = False
+            for index, future in futures.items():
+                attempts[index] += 1
+                try:
+                    row = future.result(timeout=policy.snapshot_timeout_s)
+                except BrokenProcessPool as exc:
+                    pool_suspect = True
+                    failed.append(index)
+                    errors[index] = f"worker died ({exc.__class__.__name__}: {exc})"
+                except TimeoutError:
+                    # The worker may be hung; don't trust this pool again.
+                    future.cancel()
+                    pool_suspect = True
+                    failed.append(index)
+                    errors[index] = (
+                        f"timed out after {policy.snapshot_timeout_s:g}s"
+                    )
+                except Exception as exc:
+                    failed.append(index)
+                    errors[index] = f"{exc.__class__.__name__}: {exc}"
+                else:
+                    record(index, row)
+            remaining = failed
+            if pool_suspect and remaining:
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = make_executor()
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    if remaining and policy.serial_fallback:
+        still_failing: list[int] = []
+        for index in remaining:
+            attempts[index] += 1
+            try:
+                graph = scenario.graph_at(float(times[index]), mode)
+                row = _pair_rtts_on_graph(graph, pairs)
+            except Exception as exc:
+                errors[index] = f"serial fallback: {exc.__class__.__name__}: {exc}"
+                still_failing.append(index)
+            else:
+                record(index, row)
+        remaining = still_failing
+
+    if remaining:
+        raise SweepError(
+            [
+                SnapshotFailure(
+                    index=index,
+                    time_s=float(times[index]),
+                    attempts=attempts[index],
+                    error=errors.get(index, "unknown error"),
+                )
+                for index in sorted(remaining)
+            ]
+        )
+
+    rtt = np.stack([rows[i] for i in range(total)], axis=1)
     return RttSeries(mode=mode, times_s=times, rtt_ms=rtt)

@@ -67,18 +67,34 @@ def compute_rtt_series(
     scenario: Scenario,
     mode: ConnectivityMode,
     progress=None,
+    checkpoint=None,
 ) -> RttSeries:
     """RTTs of every scenario pair across every snapshot.
 
     ``progress`` (optional) is called as ``progress(i, total)`` after each
     snapshot — long full-scale runs want a heartbeat.
+
+    ``checkpoint`` (an :class:`repro.core.checkpoint.RttCheckpoint`, or
+    the ambient checkpoint root when one is active) makes the sweep
+    resumable: already-checkpointed snapshots are loaded from disk, and
+    each newly computed row is persisted the moment it completes.
     """
+    from repro.core.checkpoint import active_checkpoint_for
+
+    if checkpoint is None:
+        checkpoint = active_checkpoint_for(scenario, mode)
     pairs = scenario.pairs
     times = scenario.times_s
+    completed = checkpoint.completed_indices() if checkpoint is not None else frozenset()
     rtt = np.full((len(pairs), len(times)), np.inf)
     for i, time_s in enumerate(times):
-        graph = scenario.graph_at(float(time_s), mode)
-        rtt[:, i] = _pair_rtts_on_graph(graph, pairs)
+        if i in completed:
+            rtt[:, i] = checkpoint.load_snapshot(i)
+        else:
+            graph = scenario.graph_at(float(time_s), mode)
+            rtt[:, i] = _pair_rtts_on_graph(graph, pairs)
+            if checkpoint is not None:
+                checkpoint.store_snapshot(i, rtt[:, i])
         if progress is not None:
             progress(i + 1, len(times))
     return RttSeries(mode=mode, times_s=times, rtt_ms=rtt)

@@ -1,0 +1,205 @@
+"""Fault-tolerant experiment orchestration for batch runs.
+
+``repro run all`` at full scale is a multi-hour sweep; one experiment
+raising must not forfeit the rest of the batch. The runner executes a
+list of experiments with per-experiment ``try/except`` isolation and
+wall-clock timing, collects structured :class:`ExperimentFailure`
+records, and renders an end-of-run summary; the batch exits non-zero
+when anything failed, but (by default) only after everything else has
+had its turn. ``keep_going=False`` restores abort-on-first-failure.
+
+Two ambient contexts wrap the whole batch:
+
+* ``resume_dir`` activates the checkpoint root
+  (:mod:`repro.core.checkpoint`), so every RTT sweep inside the batch
+  checkpoints per-snapshot results and resumes from whatever a previous
+  interrupted run left on disk;
+* ``fault_spec`` activates fault injection (:mod:`repro.faults`), so
+  every scenario in the batch degrades under the same seeded component
+  outages — turning any experiment into an outage-robustness probe.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from contextlib import ExitStack
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.core
+    from repro.experiments.base import ExperimentResult
+
+__all__ = [
+    "ExperimentFailure",
+    "ExperimentOutcome",
+    "RunSummary",
+    "UnknownExperimentError",
+    "run_experiments",
+]
+
+
+class UnknownExperimentError(ValueError):
+    """A requested experiment id is not in the registry."""
+
+    def __init__(self, unknown: list[str], known: list[str]):
+        self.unknown = list(unknown)
+        self.known = list(known)
+        super().__init__(
+            f"unknown experiments: {', '.join(self.unknown)}; "
+            f"known: {', '.join(self.known)}"
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentFailure:
+    """Structured record of one experiment that raised."""
+
+    experiment_id: str
+    error_type: str
+    message: str
+    traceback: str
+
+    def brief(self) -> str:
+        """One-line ``id: ErrorType: message`` form for summaries."""
+        return f"{self.experiment_id}: {self.error_type}: {self.message}"
+
+
+@dataclass(frozen=True)
+class ExperimentOutcome:
+    """One experiment's run: either a result or a failure, always timed."""
+
+    experiment_id: str
+    duration_s: float
+    result: ExperimentResult | None = None
+    failure: ExperimentFailure | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+@dataclass
+class RunSummary:
+    """Everything that happened in one batch run."""
+
+    outcomes: list[ExperimentOutcome] = field(default_factory=list)
+    wall_clock_s: float = 0.0
+
+    @property
+    def succeeded(self) -> list[ExperimentOutcome]:
+        return [o for o in self.outcomes if o.ok]
+
+    @property
+    def failures(self) -> list[ExperimentFailure]:
+        return [o.failure for o in self.outcomes if o.failure is not None]
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: non-zero whenever anything failed."""
+        return 0 if not self.failures else 1
+
+    def format_summary(self) -> str:
+        """End-of-run report: per-experiment status plus failure details."""
+        lines = [
+            f"Run summary: {len(self.succeeded)} ok, "
+            f"{len(self.failures)} failed ({self.wall_clock_s:.1f}s wall clock)"
+        ]
+        for outcome in self.outcomes:
+            status = "ok" if outcome.ok else "FAILED"
+            detail = outcome.result.brief() if outcome.result is not None else ""
+            lines.append(
+                f"  {outcome.experiment_id:<24s} {status:<6s} "
+                f"{outcome.duration_s:8.1f}s  {detail}".rstrip()
+            )
+        if self.failures:
+            lines.append("Failures:")
+            for failure in self.failures:
+                lines.append(f"  {failure.brief()}")
+        return "\n".join(lines)
+
+
+def run_experiments(
+    ids: Iterable[str],
+    *,
+    experiments: Mapping[str, Callable[..., ExperimentResult]] | None = None,
+    scale=None,
+    keep_going: bool = True,
+    out_dir: str | Path | None = None,
+    resume_dir: str | Path | None = None,
+    fault_spec=None,
+    echo: Callable[[str], None] = print,
+) -> RunSummary:
+    """Run a batch of experiments, surviving individual failures.
+
+    ``ids`` are registry ids, or the single element ``"all"``. Results
+    are echoed as they complete; with ``out_dir`` each experiment also
+    writes its rendered table (``<id>.txt``) and machine-readable JSON
+    (``<id>.json``). ``keep_going`` (default) isolates failures;
+    ``False`` stops the batch at the first one. ``resume_dir`` and
+    ``fault_spec`` activate the ambient checkpoint/fault contexts for
+    the whole batch. Raises :class:`UnknownExperimentError` before
+    running anything when an id is unknown.
+    """
+    from repro.core.checkpoint import checkpoint_root
+    from repro.faults import fault_injection
+    from repro.persistence import save_experiment_result
+
+    if experiments is None:
+        from repro.experiments import all_experiments
+
+        experiments = all_experiments()
+    selected = sorted(experiments) if list(ids) == ["all"] else list(ids)
+    unknown = [eid for eid in selected if eid not in experiments]
+    if unknown:
+        raise UnknownExperimentError(unknown, sorted(experiments))
+
+    out_dir = Path(out_dir) if out_dir is not None else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    summary = RunSummary()
+    batch_started = time.perf_counter()
+    with ExitStack() as stack:
+        if resume_dir is not None:
+            stack.enter_context(checkpoint_root(resume_dir))
+        if fault_spec is not None:
+            stack.enter_context(fault_injection(fault_spec))
+        for eid in selected:
+            started = time.perf_counter()
+            try:
+                func = experiments[eid]
+                result = func(scale=scale) if scale is not None else func()
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                duration = time.perf_counter() - started
+                failure = ExperimentFailure(
+                    experiment_id=eid,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    traceback=traceback.format_exc(),
+                )
+                summary.outcomes.append(
+                    ExperimentOutcome(
+                        experiment_id=eid, duration_s=duration, failure=failure
+                    )
+                )
+                echo(f"[{eid}: FAILED after {duration:.1f}s] {failure.brief()}\n")
+                if not keep_going:
+                    break
+            else:
+                duration = time.perf_counter() - started
+                summary.outcomes.append(
+                    ExperimentOutcome(
+                        experiment_id=eid, duration_s=duration, result=result
+                    )
+                )
+                echo(result.render())
+                echo(f"[{eid}: {duration:.1f}s]\n")
+                if out_dir is not None:
+                    (out_dir / f"{eid}.txt").write_text(result.render() + "\n")
+                    save_experiment_result(result, out_dir / f"{eid}.json")
+    summary.wall_clock_s = time.perf_counter() - batch_started
+    return summary

@@ -25,6 +25,7 @@ from repro.constants import (
     RELAY_GRID_SPACING_DEG,
     SNAPSHOT_INTERVAL_S,
 )
+from repro.faults import FaultSpec, active_fault_spec, apply_faults
 from repro.flows.traffic import CityPair, sample_city_pairs
 from repro.ground.stations import GroundSegment
 from repro.network.graph import (
@@ -152,6 +153,10 @@ class Scenario:
     #: Optional beam-count limit: each satellite serves at most this many
     #: GTs (closest first). ``None`` (paper default) leaves it unbounded.
     max_gts_per_satellite: int | None = None
+    #: Optional fault injection: seeded removal of satellites/GTs/aircraft
+    #: from every snapshot graph (see :mod:`repro.faults`). ``None`` also
+    #: falls back to the ambient spec set by ``repro run --inject-fault``.
+    faults: "FaultSpec | None" = None
 
     @classmethod
     def paper_default(
@@ -171,6 +176,10 @@ class Scenario:
     def with_constellation(self, constellation: Constellation) -> "Scenario":
         """This scenario on a different constellation."""
         return replace(self, constellation=constellation)
+
+    def with_faults(self, faults: FaultSpec | None) -> "Scenario":
+        """This scenario degraded by a fault-injection spec."""
+        return replace(self, faults=faults)
 
     @cached_property
     def ground(self) -> GroundSegment:
@@ -230,7 +239,7 @@ class Scenario:
     ) -> SnapshotGraph:
         """Build the network graph for one snapshot of this scenario."""
         stations = self.ground.stations_at(time_s)
-        return build_snapshot_graph(
+        graph = build_snapshot_graph(
             self.constellation,
             stations,
             time_s,
@@ -239,3 +248,5 @@ class Scenario:
             fiber_max_km=self.fiber_max_km,
             max_gts_per_satellite=self.max_gts_per_satellite,
         )
+        spec = self.faults if self.faults is not None else active_fault_spec()
+        return apply_faults(graph, spec)

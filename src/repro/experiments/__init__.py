@@ -8,6 +8,7 @@ from repro.experiments import (  # noqa: F401  (imports register experiments)
     disconnected,
     ext_deployment,
     ext_dynamics,
+    ext_fault_tolerance,
     ext_fiber_network,
     ext_gso_impact,
     ext_maxflow_baseline,

@@ -37,6 +37,10 @@ class ExperimentResult:
     data: dict = field(default_factory=dict)
     headline: dict = field(default_factory=dict)
 
+    def brief(self) -> str:
+        """One-line description for batch summaries and logs."""
+        return f"{self.experiment_id}: {self.title} (scale={self.scale_name})"
+
     def render(self) -> str:
         """Human-readable text block: tables followed by headline numbers."""
         lines = [f"=== {self.experiment_id}: {self.title} (scale={self.scale_name}) ==="]

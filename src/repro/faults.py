@@ -1,0 +1,205 @@
+"""Deterministic fault injection: seeded removal of network components.
+
+The paper's Section 5 counts satellites that are *naturally* useless
+(disconnected over oceans); this module asks the complementary
+robustness question: how do BP-only and hybrid networks degrade when
+components *fail* — satellites lost to debris or eclipse faults, ground
+transceivers knocked out by weather or power cuts, aircraft relays
+grounded?
+
+A :class:`FaultSpec` names an outage fraction per component family plus
+a seed; :func:`apply_faults` removes every edge incident to a failed
+node from a built :class:`~repro.network.graph.SnapshotGraph`. Draws
+are deterministic under a fixed seed (``numpy.random.default_rng``):
+satellite and relay outages are persistent across snapshots (fixed
+populations, identical draws), aircraft outages re-sample per snapshot
+only because the airborne population itself changes.
+
+Faults attach to a scenario (``Scenario.with_faults``) or ambiently to
+a whole batch via :func:`fault_injection` — this is how ``repro run
+--inject-fault sat:0.05`` reaches every experiment in a sweep.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.network.graph import SnapshotGraph
+
+__all__ = [
+    "FaultSpec",
+    "active_fault_spec",
+    "apply_faults",
+    "failed_node_mask",
+    "fault_injection",
+    "parse_fault_spec",
+    "set_active_fault_spec",
+]
+
+#: Component keys accepted by :func:`parse_fault_spec`.
+_FRACTION_KEYS = ("sat", "city", "relay", "aircraft")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Outage fractions per component family, plus the draw seed."""
+
+    sat: float = 0.0
+    city: float = 0.0
+    relay: float = 0.0
+    aircraft: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        for key in _FRACTION_KEYS:
+            value = getattr(self, key)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{key} outage fraction {value} not in [0, 1]")
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether this spec removes nothing."""
+        return all(getattr(self, key) == 0.0 for key in _FRACTION_KEYS)
+
+    def describe(self) -> str:
+        """Canonical ``sat:0.05,relay:0.1,seed:7`` rendering (parse inverse)."""
+        parts = [
+            f"{key}:{getattr(self, key):g}"
+            for key in _FRACTION_KEYS
+            if getattr(self, key) > 0.0
+        ]
+        parts.append(f"seed:{self.seed}")
+        return ",".join(parts)
+
+    def merged_with(self, other: "FaultSpec") -> "FaultSpec":
+        """Combine two specs: max fraction per family, ``other``'s seed wins."""
+        kwargs = {
+            key: max(getattr(self, key), getattr(other, key))
+            for key in _FRACTION_KEYS
+        }
+        return FaultSpec(seed=other.seed, **kwargs)
+
+
+def parse_fault_spec(text: str, seed: int = 0) -> FaultSpec:
+    """Parse ``"sat:0.05,relay:0.1,seed:7"`` into a :class:`FaultSpec`.
+
+    Entries are comma-separated ``component:fraction`` pairs; ``seed:N``
+    sets the draw seed (default ``seed``). Unknown components raise a
+    ``ValueError`` naming the valid keys.
+    """
+    kwargs: dict[str, float | int] = {"seed": seed}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition(":")
+        key = key.strip().lower()
+        if not sep:
+            raise ValueError(
+                f"malformed fault entry {part!r}: expected 'component:fraction'"
+            )
+        if key == "seed":
+            kwargs["seed"] = int(value)
+        elif key in _FRACTION_KEYS:
+            kwargs[key] = float(value)
+        else:
+            valid = ", ".join((*_FRACTION_KEYS, "seed"))
+            raise ValueError(f"unknown fault component {key!r}; valid: {valid}")
+    return FaultSpec(**kwargs)  # type: ignore[arg-type]
+
+
+def _draw_failed(rng: np.random.Generator, count: int, fraction: float) -> np.ndarray:
+    """Deterministically pick ``round(fraction * count)`` failed indices."""
+    failed = int(round(fraction * count))
+    if failed <= 0 or count <= 0:
+        return np.empty(0, dtype=np.intp)
+    failed = min(failed, count)
+    return np.sort(rng.choice(count, size=failed, replace=False))
+
+
+def failed_node_mask(graph: SnapshotGraph, spec: FaultSpec) -> np.ndarray:
+    """Boolean mask over graph node ids: ``True`` = failed by ``spec``.
+
+    Draw order is fixed (satellites, cities, relays, aircraft) so the
+    same seed fails the same satellites/relays at every snapshot and in
+    every connectivity mode.
+    """
+    rng = np.random.default_rng(spec.seed)
+    mask = np.zeros(graph.num_nodes, dtype=bool)
+    stations = graph.stations
+    offset = 0
+    for count, fraction in (
+        (graph.num_sats, spec.sat),
+        (stations.city_count, spec.city),
+        (stations.relay_count, spec.relay),
+        (stations.aircraft_count, spec.aircraft),
+    ):
+        mask[offset + _draw_failed(rng, count, fraction)] = True
+        offset += count
+    return mask
+
+
+def apply_faults(graph: SnapshotGraph, spec: FaultSpec | None) -> SnapshotGraph:
+    """The snapshot graph with every edge touching a failed node removed.
+
+    Nodes stay in place (ids are stable — pair indices, station tables
+    and path extraction keep working); failed components simply become
+    isolated, exactly like a transceiver that stops responding.
+    """
+    if spec is None or spec.is_noop:
+        return graph
+    mask = failed_node_mask(graph, spec)
+    if not mask.any():
+        return graph
+    keep = ~(mask[graph.edges[:, 0]] | mask[graph.edges[:, 1]])
+    # Rebuild rather than dataclasses.replace: the latter would carry the
+    # stale CSR matrix cache into the degraded graph.
+    return SnapshotGraph(
+        time_s=graph.time_s,
+        mode=graph.mode,
+        num_sats=graph.num_sats,
+        num_gts=graph.num_gts,
+        sat_ecef=graph.sat_ecef,
+        gt_ecef=graph.gt_ecef,
+        edges=graph.edges[keep],
+        edge_dist_m=graph.edge_dist_m[keep],
+        edge_kind=graph.edge_kind[keep],
+        stations=graph.stations,
+    )
+
+
+# --- Ambient fault spec ------------------------------------------------------
+#
+# Experiments build their scenarios internally, so ``repro run
+# --inject-fault`` cannot hand each one a spec. Instead the runner sets
+# an ambient spec; ``Scenario.graph_at`` consults it whenever the
+# scenario carries no explicit ``faults`` of its own.
+
+_ACTIVE_SPEC: FaultSpec | None = None
+
+
+def set_active_fault_spec(spec: FaultSpec | None) -> FaultSpec | None:
+    """Set the ambient fault spec; returns the previous value."""
+    global _ACTIVE_SPEC
+    previous = _ACTIVE_SPEC
+    _ACTIVE_SPEC = spec
+    return previous
+
+
+def active_fault_spec() -> FaultSpec | None:
+    """The ambient fault spec, or ``None`` when fault injection is off."""
+    return _ACTIVE_SPEC
+
+
+@contextmanager
+def fault_injection(spec: FaultSpec | None) -> Iterator[FaultSpec | None]:
+    """Context manager: scenarios inside degrade under ``spec``."""
+    previous = set_active_fault_spec(spec)
+    try:
+        yield spec
+    finally:
+        set_active_fault_spec(previous)

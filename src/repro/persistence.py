@@ -8,11 +8,13 @@ arrays converted to lists (human-inspectable, diff-able).
 
 from __future__ import annotations
 
+import io
 import json
 from pathlib import Path
 
 import numpy as np
 
+from repro.core.checkpoint import atomic_write_bytes
 from repro.core.pipeline import RttSeries
 from repro.experiments.base import ExperimentResult
 from repro.network.graph import ConnectivityMode
@@ -26,18 +28,22 @@ __all__ = [
 
 
 def save_rtt_series(series: RttSeries, path: str | Path) -> Path:
-    """Write an RTT series to ``path`` (``.npz`` appended if missing)."""
+    """Write an RTT series to ``path`` (``.npz`` appended if missing).
+
+    The write is atomic (temp file in the target directory, then
+    ``os.replace``): a crash mid-write never leaves a truncated ``.npz``.
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
-    path.parent.mkdir(parents=True, exist_ok=True)
+    buffer = io.BytesIO()
     np.savez_compressed(
-        path,
+        buffer,
         mode=np.array(series.mode.value),
         times_s=series.times_s,
         rtt_ms=series.rtt_ms,
     )
-    return path
+    return atomic_write_bytes(path, buffer.getvalue())
 
 
 def load_rtt_series(path: str | Path) -> RttSeries:
@@ -80,12 +86,12 @@ def save_experiment_result(result: ExperimentResult, path: str | Path) -> Path:
     The ``data`` payload is converted losslessly where JSON allows
     (non-finite floats become ``null``; tuple keys become pipe-joined
     strings) — enough for archiving and re-plotting, not for bit-exact
-    round-trips.
+    round-trips. The write is atomic (temp file + ``os.replace``), so a
+    crash mid-write never leaves a truncated ``.json``.
     """
     path = Path(path)
     if path.suffix != ".json":
         path = path.with_suffix(".json")
-    path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
         "experiment_id": result.experiment_id,
         "title": result.title,
@@ -94,17 +100,32 @@ def save_experiment_result(result: ExperimentResult, path: str | Path) -> Path:
         "headline": _jsonable(result.headline),
         "data": _jsonable(result.data),
     }
-    path.write_text(json.dumps(payload, indent=1))
-    return path
+    return atomic_write_bytes(path, json.dumps(payload, indent=1).encode())
+
+
+_RESULT_KEYS = ("experiment_id", "title", "scale_name", "tables", "headline", "data")
 
 
 def load_experiment_result(path: str | Path) -> ExperimentResult:
     """Load a previously saved experiment result.
 
     Arrays come back as plain lists (JSON has no ndarray); callers that
-    need arrays should wrap with ``np.asarray``.
+    need arrays should wrap with ``np.asarray``. Malformed or legacy
+    payloads raise a ``ValueError`` naming the missing key(s).
     """
-    payload = json.loads(Path(path).read_text())
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"malformed experiment result {path}: expected a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    missing = [key for key in _RESULT_KEYS if key not in payload]
+    if missing:
+        raise ValueError(
+            f"malformed experiment result {path}: missing key(s) "
+            f"{', '.join(missing)}"
+        )
     return ExperimentResult(
         experiment_id=payload["experiment_id"],
         title=payload["title"],

@@ -1,0 +1,245 @@
+"""Tests for checkpoint/resume of RTT sweeps."""
+
+import numpy as np
+import pytest
+
+import repro.core.pipeline as pipeline
+from repro.core.checkpoint import (
+    CheckpointMismatchError,
+    RttCheckpoint,
+    active_checkpoint_root,
+    atomic_write_bytes,
+    checkpoint_for,
+    checkpoint_root,
+    scenario_fingerprint,
+)
+from repro.core.parallel import FaultPolicy, SweepError, compute_rtt_series_parallel
+from repro.core.pipeline import compute_rtt_series
+from repro.network.graph import ConnectivityMode
+
+
+@pytest.fixture()
+def times():
+    return np.array([0.0, 900.0, 1800.0])
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        path = atomic_write_bytes(tmp_path / "x.bin", b"payload")
+        assert path.read_bytes() == b"payload"
+
+    def test_creates_parents(self, tmp_path):
+        path = atomic_write_bytes(tmp_path / "a" / "b" / "x.bin", b"p")
+        assert path.read_bytes() == b"p"
+
+    def test_no_temp_files_left(self, tmp_path):
+        atomic_write_bytes(tmp_path / "x.bin", b"payload")
+        assert [p.name for p in tmp_path.iterdir()] == ["x.bin"]
+
+    def test_overwrites_atomically(self, tmp_path):
+        atomic_write_bytes(tmp_path / "x.bin", b"old")
+        atomic_write_bytes(tmp_path / "x.bin", b"new")
+        assert (tmp_path / "x.bin").read_bytes() == b"new"
+
+
+class TestRttCheckpoint:
+    def test_store_load_roundtrip(self, tmp_path, times):
+        ck = RttCheckpoint.open(tmp_path / "ck", ConnectivityMode.BP_ONLY, times, 4)
+        row = np.array([10.0, np.inf, 12.5, 99.0])
+        ck.store_snapshot(1, row)
+        np.testing.assert_array_equal(ck.load_snapshot(1), row)
+        assert ck.completed_indices() == {1}
+        assert not ck.is_complete()
+
+    def test_shards_written_atomically(self, tmp_path, times):
+        ck = RttCheckpoint.open(tmp_path / "ck", ConnectivityMode.BP_ONLY, times, 2)
+        ck.store_snapshot(0, np.array([1.0, 2.0]))
+        names = sorted(p.name for p in (tmp_path / "ck").iterdir())
+        assert names == ["manifest.json", "snap_00000.npz"]
+
+    def test_assemble_complete(self, tmp_path, times):
+        ck = RttCheckpoint.open(tmp_path / "ck", ConnectivityMode.HYBRID, times, 2)
+        for i in range(3):
+            ck.store_snapshot(i, np.array([float(i), float(10 * i)]))
+        series = ck.assemble()
+        assert series.mode is ConnectivityMode.HYBRID
+        np.testing.assert_array_equal(series.rtt_ms[:, 2], [2.0, 20.0])
+
+    def test_assemble_incomplete_raises(self, tmp_path, times):
+        ck = RttCheckpoint.open(tmp_path / "ck", ConnectivityMode.HYBRID, times, 2)
+        ck.store_snapshot(0, np.array([1.0, 2.0]))
+        with pytest.raises(CheckpointMismatchError, match="missing snapshots"):
+            ck.assemble()
+
+    def test_wrong_shape_rejected(self, tmp_path, times):
+        ck = RttCheckpoint.open(tmp_path / "ck", ConnectivityMode.BP_ONLY, times, 4)
+        with pytest.raises(ValueError, match="shape"):
+            ck.store_snapshot(0, np.array([1.0, 2.0]))
+
+    def test_reopen_validates_num_pairs(self, tmp_path, times):
+        RttCheckpoint.open(tmp_path / "ck", ConnectivityMode.BP_ONLY, times, 4)
+        with pytest.raises(CheckpointMismatchError, match="num_pairs"):
+            RttCheckpoint.open(tmp_path / "ck", ConnectivityMode.BP_ONLY, times, 5)
+
+    def test_reopen_validates_mode(self, tmp_path, times):
+        RttCheckpoint.open(tmp_path / "ck", ConnectivityMode.BP_ONLY, times, 4)
+        with pytest.raises(CheckpointMismatchError, match="mode"):
+            RttCheckpoint.open(tmp_path / "ck", ConnectivityMode.HYBRID, times, 4)
+
+    def test_reopen_validates_times(self, tmp_path, times):
+        RttCheckpoint.open(tmp_path / "ck", ConnectivityMode.BP_ONLY, times, 4)
+        with pytest.raises(CheckpointMismatchError, match="times_s"):
+            RttCheckpoint.open(
+                tmp_path / "ck", ConnectivityMode.BP_ONLY, times + 1.0, 4
+            )
+
+    def test_corrupt_manifest_raises(self, tmp_path, times):
+        (tmp_path / "ck").mkdir()
+        (tmp_path / "ck" / "manifest.json").write_text("{not json")
+        with pytest.raises(CheckpointMismatchError, match="unreadable"):
+            RttCheckpoint.open(tmp_path / "ck", ConnectivityMode.BP_ONLY, times, 4)
+
+
+class TestFingerprint:
+    def test_stable(self, tiny_scenario):
+        assert scenario_fingerprint(
+            tiny_scenario, ConnectivityMode.BP_ONLY
+        ) == scenario_fingerprint(tiny_scenario, ConnectivityMode.BP_ONLY)
+
+    def test_mode_changes_fingerprint(self, tiny_scenario):
+        assert scenario_fingerprint(
+            tiny_scenario, ConnectivityMode.BP_ONLY
+        ) != scenario_fingerprint(tiny_scenario, ConnectivityMode.HYBRID)
+
+    def test_faults_change_fingerprint(self, tiny_scenario):
+        from repro.faults import FaultSpec
+
+        degraded = tiny_scenario.with_faults(FaultSpec(sat=0.1))
+        assert scenario_fingerprint(
+            tiny_scenario, ConnectivityMode.BP_ONLY
+        ) != scenario_fingerprint(degraded, ConnectivityMode.BP_ONLY)
+
+    def test_ambient_fault_spec_changes_fingerprint(self, tiny_scenario):
+        from repro.faults import FaultSpec, fault_injection
+
+        plain = scenario_fingerprint(tiny_scenario, ConnectivityMode.BP_ONLY)
+        with fault_injection(FaultSpec(sat=0.1)):
+            assert scenario_fingerprint(tiny_scenario, ConnectivityMode.BP_ONLY) != plain
+
+
+class TestCheckpointRoot:
+    def test_default_off(self):
+        assert active_checkpoint_root() is None
+
+    def test_context_sets_and_restores(self, tmp_path):
+        with checkpoint_root(tmp_path):
+            assert active_checkpoint_root() == tmp_path
+        assert active_checkpoint_root() is None
+
+    def test_nested_restores_outer(self, tmp_path):
+        with checkpoint_root(tmp_path / "outer"):
+            with checkpoint_root(tmp_path / "inner"):
+                assert active_checkpoint_root() == tmp_path / "inner"
+            assert active_checkpoint_root() == tmp_path / "outer"
+
+
+def _crash_after_first_snapshot(index: int, time_s: float) -> None:
+    """Worker fault hook: every snapshot but the first dies."""
+    if index >= 1:
+        raise RuntimeError("injected mid-run crash")
+
+
+class TestResume:
+    """The acceptance story: kill a sweep mid-run, resume from shards."""
+
+    def test_interrupted_sweep_resumes_without_recompute(
+        self, tiny_scenario, tmp_path, monkeypatch
+    ):
+        mode = ConnectivityMode.BP_ONLY
+        baseline = compute_rtt_series(tiny_scenario, mode)
+        ck = RttCheckpoint.open(
+            tmp_path / "ck", mode, tiny_scenario.times_s, len(tiny_scenario.pairs)
+        )
+
+        # "Kill" the sweep: workers crash on every snapshot but the first,
+        # retries exhausted, no serial rescue — exactly a mid-run abort.
+        with pytest.raises(SweepError) as excinfo:
+            compute_rtt_series_parallel(
+                tiny_scenario,
+                mode,
+                processes=2,
+                checkpoint=ck,
+                fault_hook=_crash_after_first_snapshot,
+                policy=FaultPolicy(
+                    max_attempts=1, backoff_base_s=0.0, serial_fallback=False
+                ),
+            )
+        assert {f.index for f in excinfo.value.failures} == {1, 2}
+        assert ck.completed_indices() == {0}
+
+        # Resume: count actual snapshot computations; the checkpointed
+        # snapshot must contribute zero of them.
+        computed_times = []
+        real = pipeline._pair_rtts_on_graph
+
+        def counting(graph, pairs):
+            computed_times.append(graph.time_s)
+            return real(graph, pairs)
+
+        monkeypatch.setattr(pipeline, "_pair_rtts_on_graph", counting)
+        resumed = compute_rtt_series(tiny_scenario, mode, checkpoint=ck)
+
+        expected_times = [float(t) for t in tiny_scenario.times_s[1:]]
+        assert computed_times == expected_times  # snapshot 0 never recomputed
+        np.testing.assert_array_equal(resumed.rtt_ms, baseline.rtt_ms)
+        np.testing.assert_array_equal(resumed.times_s, baseline.times_s)
+        assert ck.is_complete()
+
+    def test_fully_checkpointed_parallel_run_computes_nothing(
+        self, tiny_scenario, tmp_path
+    ):
+        mode = ConnectivityMode.BP_ONLY
+        ck = RttCheckpoint.open(
+            tmp_path / "ck", mode, tiny_scenario.times_s, len(tiny_scenario.pairs)
+        )
+        first = compute_rtt_series(tiny_scenario, mode, checkpoint=ck)
+        assert ck.is_complete()
+
+        def explode(index, time_s):  # pragma: no cover - must never run
+            raise AssertionError("resumed run recomputed a checkpointed snapshot")
+
+        resumed = compute_rtt_series_parallel(
+            tiny_scenario,
+            mode,
+            processes=2,
+            checkpoint=ck,
+            fault_hook=explode,
+            policy=FaultPolicy(max_attempts=1, serial_fallback=False),
+        )
+        np.testing.assert_array_equal(resumed.rtt_ms, first.rtt_ms)
+
+    def test_serial_sweep_checkpoints_under_ambient_root(
+        self, tiny_scenario, tmp_path
+    ):
+        mode = ConnectivityMode.BP_ONLY
+        with checkpoint_root(tmp_path):
+            series = compute_rtt_series(tiny_scenario, mode)
+            ck = checkpoint_for(tmp_path, tiny_scenario, mode)
+            assert ck.is_complete()
+            np.testing.assert_array_equal(ck.assemble().rtt_ms, series.rtt_ms)
+
+    def test_progress_reports_resumed_rows(self, tiny_scenario, tmp_path):
+        mode = ConnectivityMode.BP_ONLY
+        ck = RttCheckpoint.open(
+            tmp_path / "ck", mode, tiny_scenario.times_s, len(tiny_scenario.pairs)
+        )
+        compute_rtt_series(tiny_scenario, mode, checkpoint=ck)
+        ticks = []
+        compute_rtt_series_parallel(
+            tiny_scenario,
+            mode,
+            processes=2,
+            checkpoint=ck,
+            progress=lambda done, total: ticks.append((done, total)),
+        )
+        assert ticks == [(3, 3)]

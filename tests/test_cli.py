@@ -25,6 +25,28 @@ class TestParser:
             build_parser().parse_args(["--version"])
         assert excinfo.value.code == 0
 
+    def test_run_parses_resilience_flags(self):
+        args = build_parser().parse_args(
+            [
+                "run",
+                "fig9",
+                "--fail-fast",
+                "--resume",
+                "ckpt",
+                "--inject-fault",
+                "sat:0.05",
+                "--inject-fault",
+                "relay:0.1,seed:3",
+            ]
+        )
+        assert args.fail_fast
+        assert str(args.resume) == "ckpt"
+        assert args.inject_fault == ["sat:0.05", "relay:0.1,seed:3"]
+
+    def test_keep_going_and_fail_fast_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig9", "--keep-going", "--fail-fast"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -55,6 +77,47 @@ class TestCommands:
         assert main(["run", "fig9", "--out", str(tmp_path)]) == 0
         assert (tmp_path / "fig9.txt").exists()
         assert "GSO" in capsys.readouterr().out
+
+    def test_run_out_dir_also_writes_json(self, capsys, tmp_path):
+        from repro.persistence import load_experiment_result
+
+        assert main(["run", "fig9", "--out", str(tmp_path)]) == 0
+        loaded = load_experiment_result(tmp_path / "fig9.json")
+        assert loaded.experiment_id == "fig9"
+        assert loaded.tables
+
+    def test_run_bad_fault_spec_exits_2(self, capsys):
+        assert main(["run", "fig9", "--inject-fault", "warp_core:0.5"]) == 2
+        assert "warp_core" in capsys.readouterr().err
+
+
+class TestFaultTolerantRun:
+    @pytest.fixture()
+    def registry_with_bomb(self, monkeypatch):
+        from repro.experiments.base import ExperimentResult, _REGISTRY
+
+        def bomb(scale=None):
+            raise RuntimeError("synthetic experiment failure")
+
+        monkeypatch.setitem(_REGISTRY, "zz_bomb", bomb)
+        return _REGISTRY
+
+    def test_keep_going_runs_remaining_and_exits_nonzero(
+        self, capsys, registry_with_bomb
+    ):
+        # The failing experiment comes first; fig9 must still run.
+        assert main(["run", "zz_bomb", "fig9"]) == 1
+        output = capsys.readouterr().out
+        assert "GSO" in output  # fig9 ran despite the earlier failure
+        assert "Run summary" in output
+        assert "zz_bomb" in output and "FAILED" in output
+        assert "synthetic experiment failure" in output
+
+    def test_fail_fast_stops_the_batch(self, capsys, registry_with_bomb):
+        assert main(["run", "zz_bomb", "fig9", "--fail-fast"]) == 1
+        output = capsys.readouterr().out
+        assert "GSO" not in output  # fig9 never ran
+        assert "FAILED" in output
 
 
 class TestReportCommand:

@@ -33,6 +33,7 @@ EXPECTED_IDS = {
     "ext-dynamics",
     "ext-terouting",
     "ext-deployment",
+    "faults",
 }
 
 

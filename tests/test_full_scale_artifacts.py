@@ -18,6 +18,12 @@ needs_fig2 = pytest.mark.skipif(
     not (RESULTS / "full48_summary.json").exists(),
     reason="full-scale Fig. 2 artifacts not generated (run scripts/full_fig2.py)",
 )
+needs_fig2_series = pytest.mark.skipif(
+    not all(
+        (RESULTS / name).exists() for name in ("full48_bp.npz", "full48_hybrid.npz")
+    ),
+    reason="full-scale Fig. 2 RTT series not archived (run scripts/full_fig2.py)",
+)
 needs_fig45 = pytest.mark.skipif(
     not (RESULTS / "full_fig45_summary.json").exists(),
     reason="full-scale Fig. 4/5 artifacts not generated (run scripts/full_fig45.py)",
@@ -38,6 +44,7 @@ class TestFullScaleFig2Artifacts:
         # BP varies multiples more at the extreme.
         assert summary["bp_variation_max_ms"] > 2 * summary["hybrid_variation_max_ms"]
 
+    @needs_fig2_series
     def test_series_consistent_with_summary(self, summary):
         from repro.core.metrics import rtt_stats
         from repro.persistence import load_rtt_series
@@ -54,6 +61,7 @@ class TestFullScaleFig2Artifacts:
             summary["bp_reachable"], rel=1e-9
         )
 
+    @needs_fig2_series
     def test_rtts_physical(self):
         from repro.persistence import load_rtt_series
 
@@ -63,6 +71,7 @@ class TestFullScaleFig2Artifacts:
             assert finite.min() > 10.0  # >2,000 km pairs: >13 ms physically.
             assert finite.max() < 1000.0
 
+    @needs_fig2_series
     def test_hybrid_never_worse_per_cell(self):
         from repro.persistence import load_rtt_series
 

@@ -1,9 +1,18 @@
-"""Tests for the parallel snapshot runner."""
+"""Tests for the parallel snapshot runner and its fault tolerance."""
+
+import os
+from pathlib import Path
 
 import numpy as np
 import pytest
 
-from repro.core.parallel import compute_rtt_series_parallel, default_worker_count
+from repro.core.parallel import (
+    FaultPolicy,
+    SnapshotFailure,
+    SweepError,
+    compute_rtt_series_parallel,
+    default_worker_count,
+)
 from repro.core.pipeline import compute_rtt_series
 from repro.network.graph import ConnectivityMode
 
@@ -36,3 +45,133 @@ class TestParallelRunner:
 
     def test_default_worker_count_positive(self):
         assert default_worker_count() >= 1
+
+
+# Worker fault hooks: module-level so fork-started workers resolve them.
+_FLAG_DIR_ENV = "REPRO_TEST_FAULT_FLAG_DIR"
+
+
+def _always_crash(index: int, time_s: float) -> None:
+    raise RuntimeError("injected worker crash")
+
+
+def _crash_once_per_snapshot(index: int, time_s: float) -> None:
+    flag = Path(os.environ[_FLAG_DIR_ENV]) / f"snapshot_{index}"
+    if not flag.exists():
+        flag.touch()
+        raise RuntimeError("transient worker crash")
+
+
+def _kill_worker_once_per_snapshot(index: int, time_s: float) -> None:
+    flag = Path(os.environ[_FLAG_DIR_ENV]) / f"snapshot_{index}"
+    if not flag.exists():
+        flag.touch()
+        os._exit(17)  # simulate an OOM kill: no exception, no cleanup
+
+
+def _hang_first_snapshot_once(index: int, time_s: float) -> None:
+    import time as time_module
+
+    if index != 0:
+        return
+    flag = Path(os.environ[_FLAG_DIR_ENV]) / f"snapshot_{index}"
+    if not flag.exists():
+        flag.touch()
+        time_module.sleep(4.0)
+
+
+_FAST_RETRIES = FaultPolicy(max_attempts=3, backoff_base_s=0.01)
+
+
+class TestFaultTolerance:
+    @pytest.fixture()
+    def baseline(self, tiny_scenario):
+        return compute_rtt_series(tiny_scenario, ConnectivityMode.BP_ONLY)
+
+    @pytest.fixture()
+    def flag_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(_FLAG_DIR_ENV, str(tmp_path))
+        return tmp_path
+
+    def test_crashing_workers_rescued_by_serial_fallback(
+        self, tiny_scenario, baseline
+    ):
+        result = compute_rtt_series_parallel(
+            tiny_scenario,
+            ConnectivityMode.BP_ONLY,
+            processes=2,
+            fault_hook=_always_crash,
+            policy=FaultPolicy(max_attempts=2, backoff_base_s=0.0),
+        )
+        np.testing.assert_array_equal(result.rtt_ms, baseline.rtt_ms)
+
+    def test_transient_crash_recovered_by_retry(
+        self, tiny_scenario, baseline, flag_dir
+    ):
+        result = compute_rtt_series_parallel(
+            tiny_scenario,
+            ConnectivityMode.BP_ONLY,
+            processes=2,
+            fault_hook=_crash_once_per_snapshot,
+            policy=FaultPolicy(
+                max_attempts=3, backoff_base_s=0.01, serial_fallback=False
+            ),
+        )
+        np.testing.assert_array_equal(result.rtt_ms, baseline.rtt_ms)
+        # Every snapshot failed exactly once before its retry succeeded.
+        assert len(list(flag_dir.iterdir())) == len(tiny_scenario.times_s)
+
+    def test_dead_worker_pool_recreated(self, tiny_scenario, baseline, flag_dir):
+        result = compute_rtt_series_parallel(
+            tiny_scenario,
+            ConnectivityMode.BP_ONLY,
+            processes=2,
+            fault_hook=_kill_worker_once_per_snapshot,
+            policy=_FAST_RETRIES,
+        )
+        np.testing.assert_array_equal(result.rtt_ms, baseline.rtt_ms)
+
+    def test_hung_worker_times_out_and_recovers(
+        self, tiny_scenario, baseline, flag_dir
+    ):
+        result = compute_rtt_series_parallel(
+            tiny_scenario,
+            ConnectivityMode.BP_ONLY,
+            processes=2,
+            fault_hook=_hang_first_snapshot_once,
+            policy=FaultPolicy(
+                max_attempts=2, snapshot_timeout_s=1.0, backoff_base_s=0.01
+            ),
+        )
+        np.testing.assert_array_equal(result.rtt_ms, baseline.rtt_ms)
+
+    def test_irrecoverable_snapshots_raise_structured_sweep_error(
+        self, tiny_scenario
+    ):
+        with pytest.raises(SweepError) as excinfo:
+            compute_rtt_series_parallel(
+                tiny_scenario,
+                ConnectivityMode.BP_ONLY,
+                processes=2,
+                fault_hook=_always_crash,
+                policy=FaultPolicy(
+                    max_attempts=2, backoff_base_s=0.0, serial_fallback=False
+                ),
+            )
+        failures = excinfo.value.failures
+        assert [f.index for f in failures] == list(
+            range(len(tiny_scenario.times_s))
+        )
+        for failure in failures:
+            assert isinstance(failure, SnapshotFailure)
+            assert failure.attempts == 2
+            assert "injected worker crash" in failure.error
+        assert "failed irrecoverably" in str(excinfo.value)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            FaultPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            FaultPolicy(backoff_base_s=-1.0)
+        with pytest.raises(ValueError):
+            FaultPolicy(snapshot_timeout_s=0.0)

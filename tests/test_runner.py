@@ -1,0 +1,189 @@
+"""Tests for the fault-tolerant experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import active_checkpoint_root
+from repro.core.runner import (
+    ExperimentFailure,
+    ExperimentOutcome,
+    RunSummary,
+    UnknownExperimentError,
+    run_experiments,
+)
+from repro.experiments.base import ExperimentResult
+from repro.faults import FaultSpec, active_fault_spec
+from repro.persistence import load_experiment_result
+
+
+def _silent(_: str) -> None:
+    pass
+
+
+def _result(eid: str) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=eid,
+        title=f"Title of {eid}",
+        scale_name="tiny",
+        tables=[f"table for {eid}"],
+        headline={"metric": 1.0},
+        data={"values": np.array([1.0, 2.0])},
+    )
+
+
+def _good(scale=None):
+    return _result("good")
+
+
+def _boom(scale=None):
+    raise RuntimeError("kaboom")
+
+
+class TestKeepGoing:
+    def test_failure_does_not_stop_the_batch(self):
+        summary = run_experiments(
+            ["all"],
+            experiments={"a_boom": _boom, "b_good": _good},
+            echo=_silent,
+        )
+        assert [o.experiment_id for o in summary.outcomes] == ["a_boom", "b_good"]
+        assert [o.ok for o in summary.outcomes] == [False, True]
+        assert summary.exit_code == 1
+
+    def test_fail_fast_stops_at_first_failure(self):
+        summary = run_experiments(
+            ["all"],
+            experiments={"a_boom": _boom, "b_good": _good},
+            keep_going=False,
+            echo=_silent,
+        )
+        assert [o.experiment_id for o in summary.outcomes] == ["a_boom"]
+        assert summary.exit_code == 1
+
+    def test_all_ok_exits_zero(self):
+        summary = run_experiments(
+            ["all"], experiments={"b_good": _good}, echo=_silent
+        )
+        assert summary.exit_code == 0
+        assert summary.failures == []
+
+    def test_failure_record_is_structured(self):
+        summary = run_experiments(
+            ["a_boom"], experiments={"a_boom": _boom}, echo=_silent
+        )
+        (failure,) = summary.failures
+        assert isinstance(failure, ExperimentFailure)
+        assert failure.experiment_id == "a_boom"
+        assert failure.error_type == "RuntimeError"
+        assert failure.message == "kaboom"
+        assert "kaboom" in failure.traceback
+
+    def test_summary_mentions_failures_and_timings(self):
+        summary = run_experiments(
+            ["all"],
+            experiments={"a_boom": _boom, "b_good": _good},
+            echo=_silent,
+        )
+        text = summary.format_summary()
+        assert "1 ok, 1 failed" in text
+        assert "a_boom" in text and "FAILED" in text
+        assert "RuntimeError: kaboom" in text
+        assert "Title of good" in text
+        assert all(outcome.duration_s >= 0 for outcome in summary.outcomes)
+
+
+class TestSelection:
+    def test_unknown_id_raises_before_running(self):
+        calls = []
+
+        def tracking(scale=None):
+            calls.append(1)
+            return _result("x")
+
+        with pytest.raises(UnknownExperimentError, match="nope"):
+            run_experiments(
+                ["x", "nope"], experiments={"x": tracking}, echo=_silent
+            )
+        assert calls == []
+
+    def test_explicit_order_preserved(self):
+        order = []
+
+        def make(eid):
+            def runner(scale=None):
+                order.append(eid)
+                return _result(eid)
+
+            return runner
+
+        run_experiments(
+            ["b", "a"],
+            experiments={"a": make("a"), "b": make("b")},
+            echo=_silent,
+        )
+        assert order == ["b", "a"]
+
+
+class TestOutputs:
+    def test_out_dir_gets_text_and_json(self, tmp_path):
+        run_experiments(
+            ["good"], experiments={"good": _good}, out_dir=tmp_path, echo=_silent
+        )
+        assert (tmp_path / "good.txt").read_text().startswith("=== good")
+        loaded = load_experiment_result(tmp_path / "good.json")
+        assert loaded.experiment_id == "good"
+        assert loaded.data["values"] == [1.0, 2.0]
+
+    def test_failed_experiment_writes_nothing(self, tmp_path):
+        run_experiments(
+            ["a_boom"], experiments={"a_boom": _boom}, out_dir=tmp_path, echo=_silent
+        )
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestAmbientContexts:
+    def test_resume_and_fault_contexts_active_during_run(self, tmp_path):
+        seen = {}
+
+        def probe(scale=None):
+            seen["root"] = active_checkpoint_root()
+            seen["spec"] = active_fault_spec()
+            return _result("probe")
+
+        spec = FaultSpec(sat=0.25, seed=3)
+        run_experiments(
+            ["probe"],
+            experiments={"probe": probe},
+            resume_dir=tmp_path / "ck",
+            fault_spec=spec,
+            echo=_silent,
+        )
+        assert seen["root"] == tmp_path / "ck"
+        assert seen["spec"] == spec
+        assert active_checkpoint_root() is None
+        assert active_fault_spec() is None
+
+    def test_contexts_restored_even_after_failure(self, tmp_path):
+        run_experiments(
+            ["a_boom"],
+            experiments={"a_boom": _boom},
+            resume_dir=tmp_path / "ck",
+            fault_spec=FaultSpec(sat=0.1),
+            echo=_silent,
+        )
+        assert active_checkpoint_root() is None
+        assert active_fault_spec() is None
+
+
+class TestRunSummary:
+    def test_empty_summary_exits_zero(self):
+        assert RunSummary().exit_code == 0
+
+    def test_outcome_ok_property(self):
+        ok = ExperimentOutcome(experiment_id="x", duration_s=0.1, result=_result("x"))
+        failed = ExperimentOutcome(
+            experiment_id="y",
+            duration_s=0.1,
+            failure=ExperimentFailure("y", "E", "m", "tb"),
+        )
+        assert ok.ok and not failed.ok

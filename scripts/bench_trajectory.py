@@ -1,0 +1,260 @@
+"""Record one point on the repo's performance trajectory.
+
+Runs the reduced-scale benchmark suite (the same experiments the
+``benchmarks/`` harness times, driven through
+:func:`repro.core.runner.run_experiments` with profiling on), folds in a
+pytest-benchmark JSON export when one is supplied, and writes a
+schema-versioned ``BENCH_<date>.json`` at the repo root:
+
+.. code-block:: text
+
+    python scripts/bench_trajectory.py --smoke          # CI-sized record
+    python scripts/bench_trajectory.py                  # reduced scale
+    python scripts/bench_trajectory.py --pytest-json benchmarks/out.json
+
+Each run is then compared against the most recent previous record (or an
+explicit ``--baseline``): any experiment whose wall time grew by more
+than ``--threshold`` (default 25%) is reported as a regression and the
+script exits non-zero, which is how CI fails the build on a perf
+regression. The very first record has nothing to compare against and
+exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Allow `python scripts/bench_trajectory.py` without PYTHONPATH=src.
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.runner import run_experiments  # noqa: E402
+from repro.core.scenario import ScenarioScale  # noqa: E402
+from repro.obs import BENCH_SCHEMA, METRICS_SCHEMA_VERSION, validate  # noqa: E402
+
+#: Experiments timed by default: the two headline figures (latency and
+#: throughput) exercise every instrumented layer between them.
+DEFAULT_EXPERIMENTS = ("fig2", "fig4")
+
+#: Timings below this are dominated by noise; skip them when comparing.
+MIN_COMPARABLE_S = 0.05
+
+
+def smoke_scale() -> ScenarioScale:
+    """CI-sized configuration: seconds per experiment, still end-to-end."""
+    return ScenarioScale(
+        name="bench-smoke",
+        num_cities=40,
+        num_pairs=25,
+        relay_spacing_deg=4.0,
+        num_snapshots=2,
+        snapshot_interval_s=1800.0,
+    )
+
+
+def git_rev() -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def run_suite(experiment_ids: list[str], scale: ScenarioScale) -> dict:
+    """Run the experiments with profiling on; return bench entries.
+
+    Each entry carries the experiment's wall/CPU time plus the span tree
+    and counters its instrumented layers reported. A failing experiment
+    aborts the record — a trajectory point for a broken build would only
+    poison later comparisons.
+    """
+    summary = run_experiments(
+        list(experiment_ids), scale=scale, profile=True, echo=lambda _: None
+    )
+    if summary.failures:
+        details = "; ".join(f.brief() for f in summary.failures)
+        raise RuntimeError(f"benchmark experiments failed: {details}")
+    entries = {}
+    for eid, payload in summary.metrics_by_experiment.items():
+        entries[eid] = {
+            "source": "run_experiments",
+            "wall_s": payload["wall_s"],
+            "cpu_s": payload["cpu_s"],
+            "spans": payload["spans"],
+            "counters": payload["counters"],
+        }
+    return entries
+
+
+def fold_pytest_benchmarks(path: Path) -> dict:
+    """Convert a ``pytest-benchmark --benchmark-json`` export to entries.
+
+    Each benchmark's mean becomes that entry's ``wall_s``, keyed by the
+    benchmark name, so pytest-benchmark timings ride the same trajectory
+    file (and regression check) as the experiment timings.
+    """
+    data = json.loads(Path(path).read_text())
+    entries = {}
+    for bench in data.get("benchmarks", []):
+        entries[bench["name"]] = {
+            "source": "pytest-benchmark",
+            "wall_s": float(bench["stats"]["mean"]),
+        }
+    return entries
+
+
+def previous_record(directory: Path, exclude: Path | None = None) -> Path | None:
+    """Latest ``BENCH_*.json`` in ``directory`` other than ``exclude``.
+
+    The timestamp in the filename sorts lexicographically, so the max
+    name is the newest record.
+    """
+    candidates = [
+        p
+        for p in directory.glob("BENCH_*.json")
+        if exclude is None or p.resolve() != exclude.resolve()
+    ]
+    return max(candidates, default=None, key=lambda p: p.name)
+
+
+def compare(current: dict, previous: dict, threshold: float) -> list[str]:
+    """Regression lines for entries whose wall time grew past ``threshold``.
+
+    Entries missing from either record, and entries faster than
+    ``MIN_COMPARABLE_S`` in the baseline, are skipped — new benchmarks
+    and noise-floor timings are not regressions.
+    """
+    regressions = []
+    for name in sorted(current["entries"]):
+        if name not in previous["entries"]:
+            continue
+        before = float(previous["entries"][name]["wall_s"])
+        after = float(current["entries"][name]["wall_s"])
+        if before < MIN_COMPARABLE_S:
+            continue
+        ratio = after / before
+        if ratio > 1.0 + threshold:
+            regressions.append(
+                f"{name}: {before:.3f}s -> {after:.3f}s "
+                f"({(ratio - 1.0) * 100:+.1f}%, threshold +{threshold * 100:.0f}%)"
+            )
+    return regressions
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Command-line interface (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized scale (seconds per experiment) instead of reduced scale",
+    )
+    parser.add_argument(
+        "--experiments",
+        default=",".join(DEFAULT_EXPERIMENTS),
+        help="comma-separated experiment ids to time (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="directory for BENCH_*.json records (default: repo root)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="compare against this record instead of the latest in --out",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional wall-time growth that counts as a regression "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--pytest-json",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="fold a `pytest --benchmark-json` export into the record",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code (1 = regression)."""
+    args = build_parser().parse_args(argv)
+    out_dir = args.out if args.out is not None else REPO_ROOT
+    out_dir.mkdir(parents=True, exist_ok=True)
+    scale = smoke_scale() if args.smoke else ScenarioScale.small()
+    experiment_ids = [e for e in args.experiments.split(",") if e]
+
+    entries = run_suite(experiment_ids, scale)
+    if args.pytest_json is not None:
+        entries.update(fold_pytest_benchmarks(args.pytest_json))
+
+    record = {
+        "kind": "bench-trajectory",
+        "schema_version": METRICS_SCHEMA_VERSION,
+        "created_utc": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "git_rev": git_rev(),
+        "config": {
+            "scale": scale.name,
+            "experiments": experiment_ids,
+            "smoke": bool(args.smoke),
+        },
+        "entries": entries,
+    }
+    validate(record, BENCH_SCHEMA)
+    # Microseconds keep back-to-back runs (tests, tight CI loops) from
+    # colliding on one filename; lexicographic order still equals time order.
+    stamp = datetime.now(timezone.utc).strftime("%Y%m%d-%H%M%S-%f")
+    record_path = out_dir / f"BENCH_{stamp}.json"
+    record_path.write_text(json.dumps(record, indent=1) + "\n")
+    print(f"wrote {record_path}")
+    for name in sorted(entries):
+        print(f"  {name:<28s} {entries[name]['wall_s']:8.3f}s")
+
+    baseline_path = args.baseline or previous_record(out_dir, exclude=record_path)
+    if baseline_path is None:
+        print("no previous record to compare against; trajectory starts here")
+        return 0
+    baseline = json.loads(Path(baseline_path).read_text())
+    validate(baseline, BENCH_SCHEMA)
+    if baseline["config"] != record["config"]:
+        print(
+            f"baseline {baseline_path} used config {baseline['config']}; "
+            f"this run used {record['config']} — skipping comparison"
+        )
+        return 0
+    regressions = compare(record, baseline, args.threshold)
+    print(f"compared against {baseline_path}")
+    if regressions:
+        print("PERFORMANCE REGRESSIONS:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

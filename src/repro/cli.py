@@ -14,6 +14,11 @@ Commands
     ``--resume DIR`` checkpoints RTT sweeps so interrupted runs pick up
     where they left off; ``--inject-fault sat:0.05`` degrades every
     scenario under seeded component outages (see ``repro.faults``).
+    ``--profile`` collects per-experiment spans/counters (graph build,
+    Dijkstra, allocation, checkpoint I/O, worker retries — see
+    ``repro.obs``), prints per-experiment profile tables, and with
+    ``--out`` writes a machine-readable ``metrics.json`` next to the
+    results.
 ``info``
     Print the constellation presets and scale definitions.
 ``scenario``
@@ -99,6 +104,14 @@ def build_parser() -> argparse.ArgumentParser:
             "'sat:0.05,relay:0.1,seed:7'; repeatable (specs merge)"
         ),
     )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "collect per-experiment span/counter metrics, print profile "
+            "tables, and (with --out) write metrics.json"
+        ),
+    )
 
     report = sub.add_parser("report", help="run experiments and write a Markdown report")
     report.add_argument("ids", nargs="*", help="experiment ids (default: all)")
@@ -177,6 +190,7 @@ def _cmd_run(args) -> int:
             out_dir=args.out,
             resume_dir=args.resume,
             fault_spec=fault_spec,
+            profile=args.profile,
         )
     except UnknownExperimentError as exc:
         print(f"unknown experiments: {', '.join(exc.unknown)}", file=sys.stderr)

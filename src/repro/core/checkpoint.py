@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.network.graph import ConnectivityMode
+from repro.obs import span
 
 if TYPE_CHECKING:  # circular at runtime: pipeline imports this module lazily
     from repro.core.pipeline import RttSeries
@@ -186,16 +187,18 @@ class RttCheckpoint:
                 f"snapshot row has shape {rtts_ms.shape}, "
                 f"expected ({self.num_pairs},)"
             )
-        buffer = io.BytesIO()
-        np.savez_compressed(
-            buffer, rtt_ms=rtts_ms, time_s=np.float64(self.times_s[index])
-        )
-        return atomic_write_bytes(self.shard_path(index), buffer.getvalue())
+        with span("checkpoint_io.store"):
+            buffer = io.BytesIO()
+            np.savez_compressed(
+                buffer, rtt_ms=rtts_ms, time_s=np.float64(self.times_s[index])
+            )
+            return atomic_write_bytes(self.shard_path(index), buffer.getvalue())
 
     def load_snapshot(self, index: int) -> np.ndarray:
         """Load one checkpointed snapshot row."""
-        with np.load(self.shard_path(index), allow_pickle=False) as data:
-            row = np.asarray(data["rtt_ms"], dtype=float)
+        with span("checkpoint_io.load"):
+            with np.load(self.shard_path(index), allow_pickle=False) as data:
+                row = np.asarray(data["rtt_ms"], dtype=float)
         if row.shape != (self.num_pairs,):
             raise CheckpointMismatchError(
                 f"shard {self.shard_path(index)} holds {row.shape[0]} pairs, "

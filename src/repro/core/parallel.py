@@ -39,6 +39,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.core.checkpoint import RttCheckpoint, active_checkpoint_for
 from repro.core.pipeline import RttSeries, _pair_rtts_on_graph
 from repro.core.scenario import Scenario
@@ -56,6 +57,7 @@ __all__ = [
 _WORKER_SCENARIO: Scenario | None = None
 _WORKER_MODE: ConnectivityMode | None = None
 _WORKER_FAULT_HOOK: Callable[[int, float], None] | None = None
+_WORKER_COLLECT_METRICS: bool = False
 
 
 @dataclass(frozen=True)
@@ -124,11 +126,14 @@ def _init_worker(
     scenario: Scenario,
     mode: ConnectivityMode,
     fault_hook: Callable[[int, float], None] | None = None,
+    collect_metrics: bool = False,
 ) -> None:
     global _WORKER_SCENARIO, _WORKER_MODE, _WORKER_FAULT_HOOK
+    global _WORKER_COLLECT_METRICS
     _WORKER_SCENARIO = scenario
     _WORKER_MODE = mode
     _WORKER_FAULT_HOOK = fault_hook
+    _WORKER_COLLECT_METRICS = collect_metrics
 
 
 def _snapshot_rtts(time_s: float) -> np.ndarray:
@@ -137,11 +142,25 @@ def _snapshot_rtts(time_s: float) -> np.ndarray:
     return _pair_rtts_on_graph(graph, _WORKER_SCENARIO.pairs)
 
 
-def _eval_snapshot(index: int, time_s: float) -> np.ndarray:
-    """Worker task: one snapshot's RTT row (fault hook first, for tests)."""
-    if _WORKER_FAULT_HOOK is not None:
-        _WORKER_FAULT_HOOK(index, time_s)
-    return _snapshot_rtts(time_s)
+def _eval_snapshot(index: int, time_s: float) -> tuple[np.ndarray, dict | None]:
+    """Worker task: one snapshot's RTT row (fault hook first, for tests).
+
+    Returns ``(row, metrics_payload)``: when the parent is profiling,
+    each task collects its own span/counter aggregate and ships it back
+    alongside the result — the same future the fault policy already
+    watches — so worker instrumentation survives retries, pool
+    recreation, and the serial fallback without a side channel.
+    """
+    if not _WORKER_COLLECT_METRICS:
+        if _WORKER_FAULT_HOOK is not None:
+            _WORKER_FAULT_HOOK(index, time_s)
+        return _snapshot_rtts(time_s), None
+    with obs.observe() as registry:
+        with obs.span("snapshot"):
+            if _WORKER_FAULT_HOOK is not None:
+                _WORKER_FAULT_HOOK(index, time_s)
+            row = _snapshot_rtts(time_s)
+    return row, registry.snapshot()
 
 
 def compute_rtt_series_parallel(
@@ -204,12 +223,14 @@ def compute_rtt_series_parallel(
         "fork" if "fork" in multiprocessing.get_all_start_methods() else None
     )
 
+    collect_metrics = obs.active_registry() is not None
+
     def make_executor() -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
             max_workers=min(processes, len(pending)),
             mp_context=context,
             initializer=_init_worker,
-            initargs=(scenario, mode, fault_hook),
+            initargs=(scenario, mode, fault_hook, collect_metrics),
         )
 
     def record(index: int, row: np.ndarray) -> None:
@@ -227,8 +248,10 @@ def compute_rtt_series_parallel(
         for round_number in range(policy.max_attempts):
             if not remaining:
                 break
-            if round_number and policy.backoff_base_s:
-                time.sleep(policy.backoff_base_s * 2 ** (round_number - 1))
+            if round_number:
+                obs.incr("parallel.worker_retries", len(remaining))
+                if policy.backoff_base_s:
+                    time.sleep(policy.backoff_base_s * 2 ** (round_number - 1))
             futures = {
                 index: executor.submit(_eval_snapshot, index, float(times[index]))
                 for index in remaining
@@ -238,7 +261,9 @@ def compute_rtt_series_parallel(
             for index, future in futures.items():
                 attempts[index] += 1
                 try:
-                    row = future.result(timeout=policy.snapshot_timeout_s)
+                    row, worker_metrics = future.result(
+                        timeout=policy.snapshot_timeout_s
+                    )
                 except BrokenProcessPool as exc:
                     pool_suspect = True
                     failed.append(index)
@@ -248,6 +273,7 @@ def compute_rtt_series_parallel(
                     future.cancel()
                     pool_suspect = True
                     failed.append(index)
+                    obs.incr("parallel.timeouts")
                     errors[index] = (
                         f"timed out after {policy.snapshot_timeout_s:g}s"
                     )
@@ -255,9 +281,12 @@ def compute_rtt_series_parallel(
                     failed.append(index)
                     errors[index] = f"{exc.__class__.__name__}: {exc}"
                 else:
+                    if worker_metrics is not None:
+                        obs.merge_payload(worker_metrics)
                     record(index, row)
             remaining = failed
             if pool_suspect and remaining:
+                obs.incr("parallel.pool_recreations")
                 executor.shutdown(wait=False, cancel_futures=True)
                 executor = make_executor()
     finally:
@@ -267,7 +296,9 @@ def compute_rtt_series_parallel(
         still_failing: list[int] = []
         for index in remaining:
             attempts[index] += 1
+            obs.incr("parallel.serial_fallbacks")
             try:
+                # Runs in-process: spans land on the parent registry.
                 graph = scenario.graph_at(float(times[index]), mode)
                 row = _pair_rtts_on_graph(graph, pairs)
             except Exception as exc:

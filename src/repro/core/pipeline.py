@@ -15,6 +15,7 @@ from scipy.sparse import csgraph
 
 from repro.constants import SPEED_OF_LIGHT
 from repro.core.scenario import Scenario
+from repro.obs import incr, span
 from repro.flows.traffic import CityPair
 from repro.network.graph import ConnectivityMode, SnapshotGraph
 from repro.network.paths import Path, extract_path
@@ -53,7 +54,8 @@ def _pair_rtts_on_graph(graph: SnapshotGraph, pairs: list[CityPair]) -> np.ndarr
     rtts = np.full(len(pairs), np.inf)
     source_cities = sorted(sources)
     source_nodes = [graph.gt_node(city) for city in source_cities]
-    distances = csgraph.dijkstra(matrix, directed=True, indices=source_nodes)
+    with span("dijkstra"):
+        distances = csgraph.dijkstra(matrix, directed=True, indices=source_nodes)
     for row, city in enumerate(source_cities):
         for idx in sources[city]:
             target_node = graph.gt_node(pairs[idx].b)
@@ -89,10 +91,14 @@ def compute_rtt_series(
     rtt = np.full((len(pairs), len(times)), np.inf)
     for i, time_s in enumerate(times):
         if i in completed:
+            incr("checkpoint.hits")
             rtt[:, i] = checkpoint.load_snapshot(i)
         else:
-            graph = scenario.graph_at(float(time_s), mode)
-            rtt[:, i] = _pair_rtts_on_graph(graph, pairs)
+            if checkpoint is not None:
+                incr("checkpoint.misses")
+            with span("snapshot"):
+                graph = scenario.graph_at(float(time_s), mode)
+                rtt[:, i] = _pair_rtts_on_graph(graph, pairs)
             if checkpoint is not None:
                 checkpoint.store_snapshot(i, rtt[:, i])
         if progress is not None:
@@ -115,12 +121,14 @@ def pair_paths_on_graph(
     paths: list[tuple[int, ...] | None] = [None] * len(pairs)
     for city, pair_indices in by_source.items():
         source = graph.gt_node(city)
-        _, pred = csgraph.dijkstra(
-            matrix, directed=True, indices=source, return_predecessors=True
-        )
-        for idx in pair_indices:
-            target = graph.gt_node(pairs[idx].b)
-            paths[idx] = extract_path(pred, source, target)
+        with span("dijkstra"):
+            _, pred = csgraph.dijkstra(
+                matrix, directed=True, indices=source, return_predecessors=True
+            )
+        with span("path_extraction"):
+            for idx in pair_indices:
+                target = graph.gt_node(pairs[idx].b)
+                paths[idx] = extract_path(pred, source, target)
     return paths
 
 

@@ -17,10 +17,18 @@ Two ambient contexts wrap the whole batch:
 * ``fault_spec`` activates fault injection (:mod:`repro.faults`), so
   every scenario in the batch degrades under the same seeded component
   outages — turning any experiment into an outage-robustness probe.
+
+``profile=True`` additionally runs every experiment under an
+observability registry (:mod:`repro.obs`): per-experiment wall/CPU time
+plus the span tree and counters collected by the instrumented hot
+layers. The aggregate lands in ``RunSummary.metrics_by_experiment``, is
+rendered as tables after the batch, and — when ``out_dir`` is set — is
+written as a schema-versioned ``metrics.json`` next to the results.
 """
 
 from __future__ import annotations
 
+import json
 import time
 import traceback
 from contextlib import ExitStack
@@ -80,12 +88,25 @@ class ExperimentOutcome:
         return self.failure is None
 
 
+#: Counters that must appear in every profile payload even at zero, so
+#: metrics consumers get a stable key set (a clean sweep reports 0
+#: retries rather than omitting the key).
+_BASELINE_COUNTERS = (
+    "checkpoint.hits",
+    "checkpoint.misses",
+    "parallel.worker_retries",
+    "parallel.pool_recreations",
+)
+
+
 @dataclass
 class RunSummary:
     """Everything that happened in one batch run."""
 
     outcomes: list[ExperimentOutcome] = field(default_factory=list)
     wall_clock_s: float = 0.0
+    #: Per-experiment observability payloads (populated by ``profile=True``).
+    metrics_by_experiment: dict[str, dict] = field(default_factory=dict)
 
     @property
     def succeeded(self) -> list[ExperimentOutcome]:
@@ -129,6 +150,7 @@ def run_experiments(
     out_dir: str | Path | None = None,
     resume_dir: str | Path | None = None,
     fault_spec=None,
+    profile: bool = False,
     echo: Callable[[str], None] = print,
 ) -> RunSummary:
     """Run a batch of experiments, surviving individual failures.
@@ -139,10 +161,14 @@ def run_experiments(
     (``<id>.json``). ``keep_going`` (default) isolates failures;
     ``False`` stops the batch at the first one. ``resume_dir`` and
     ``fault_spec`` activate the ambient checkpoint/fault contexts for
-    the whole batch. Raises :class:`UnknownExperimentError` before
-    running anything when an id is unknown.
+    the whole batch. ``profile`` collects per-experiment spans/counters
+    (see module docstring), echoes the profile tables, and — with
+    ``out_dir`` — writes ``metrics.json``. Raises
+    :class:`UnknownExperimentError` before running anything when an id
+    is unknown.
     """
-    from repro.core.checkpoint import checkpoint_root
+    from repro import obs
+    from repro.core.checkpoint import atomic_write_bytes, checkpoint_root
     from repro.faults import fault_injection
     from repro.persistence import save_experiment_result
 
@@ -168,13 +194,30 @@ def run_experiments(
             stack.enter_context(fault_injection(fault_spec))
         for eid in selected:
             started = time.perf_counter()
+            cpu_started = time.process_time()
+            registry = obs.MetricsRegistry() if profile else None
+
+            def _profile_payload(ok: bool) -> dict:
+                registry.ensure_counters(_BASELINE_COUNTERS)
+                payload = registry.snapshot()
+                payload["ok"] = ok
+                payload["wall_s"] = time.perf_counter() - started
+                payload["cpu_s"] = time.process_time() - cpu_started
+                return payload
+
             try:
                 func = experiments[eid]
-                result = func(scale=scale) if scale is not None else func()
+                if registry is not None:
+                    with obs.observe(registry):
+                        result = func(scale=scale) if scale is not None else func()
+                else:
+                    result = func(scale=scale) if scale is not None else func()
             except KeyboardInterrupt:
                 raise
             except Exception as exc:
                 duration = time.perf_counter() - started
+                if registry is not None:
+                    summary.metrics_by_experiment[eid] = _profile_payload(ok=False)
                 failure = ExperimentFailure(
                     experiment_id=eid,
                     error_type=type(exc).__name__,
@@ -191,6 +234,8 @@ def run_experiments(
                     break
             else:
                 duration = time.perf_counter() - started
+                if registry is not None:
+                    summary.metrics_by_experiment[eid] = _profile_payload(ok=True)
                 summary.outcomes.append(
                     ExperimentOutcome(
                         experiment_id=eid, duration_s=duration, result=result
@@ -202,4 +247,15 @@ def run_experiments(
                     (out_dir / f"{eid}.txt").write_text(result.render() + "\n")
                     save_experiment_result(result, out_dir / f"{eid}.json")
     summary.wall_clock_s = time.perf_counter() - batch_started
+    if profile:
+        echo(obs.format_profile_report(summary.metrics_by_experiment))
+        if out_dir is not None:
+            payload = {
+                "kind": "metrics",
+                "schema_version": obs.METRICS_SCHEMA_VERSION,
+                "experiments": summary.metrics_by_experiment,
+            }
+            atomic_write_bytes(
+                out_dir / "metrics.json", json.dumps(payload, indent=1).encode()
+            )
     return summary

@@ -13,10 +13,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.flows.maxmin import MaxMinResult
+from repro.obs import traced
 
 __all__ = ["equal_split_allocation"]
 
 
+@traced("allocation")
 def equal_split_allocation(
     flow_edges: list[np.ndarray],
     capacities: np.ndarray,

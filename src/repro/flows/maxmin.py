@@ -25,6 +25,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import incr, traced
+
 __all__ = ["MaxMinResult", "max_min_fair_allocation"]
 
 #: Relative numeric slack when deciding a link has saturated.
@@ -45,6 +47,7 @@ class MaxMinResult:
         return float(np.sum(self.rates))
 
 
+@traced("allocation")
 def max_min_fair_allocation(
     flow_edges: list[np.ndarray],
     capacities: np.ndarray,
@@ -140,4 +143,5 @@ def max_min_fair_allocation(
             )
 
     loads = capacities - remaining
+    incr("maxmin.bottleneck_rounds", rounds)
     return MaxMinResult(rates=rates, link_loads=loads, bottleneck_rounds=rounds)

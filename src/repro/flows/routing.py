@@ -15,6 +15,7 @@ import numpy as np
 from repro.flows.traffic import CityPair
 from repro.network.graph import SnapshotGraph
 from repro.network.paths import Path, k_edge_disjoint_paths
+from repro.obs import incr, traced
 
 __all__ = ["SubFlow", "RoutedTraffic", "route_traffic", "edge_id_index"]
 
@@ -52,6 +53,7 @@ def edge_id_index(graph: SnapshotGraph) -> dict[tuple[int, int], int]:
     return {(int(a), int(b)): i for i, (a, b) in enumerate(zip(u, v))}
 
 
+@traced("route_paths")
 def route_traffic(
     graph: SnapshotGraph,
     pairs: list[CityPair],
@@ -73,6 +75,7 @@ def route_traffic(
         target = graph.gt_node(pair.b)
         paths = k_edge_disjoint_paths(matrix, source, target, k)
         if not paths:
+            incr("routing.unrouted_pairs")
             unrouted.append(pair_idx)
             continue
         for path in paths:

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.flows.maxmin import MaxMinResult, max_min_fair_allocation
 from repro.flows.routing import RoutedTraffic, route_traffic
+from repro.obs import traced
 from repro.flows.traffic import CityPair
 from repro.network.graph import SnapshotGraph
 from repro.network.links import LinkCapacities
@@ -99,6 +100,7 @@ class ThroughputResult:
         return rates
 
 
+@traced("throughput_eval")
 def evaluate_throughput(
     graph: SnapshotGraph,
     pairs: list[CityPair],

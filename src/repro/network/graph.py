@@ -25,6 +25,7 @@ from scipy.sparse import csgraph
 from scipy.spatial import cKDTree
 
 from repro.constants import EARTH_RADIUS, SPEED_OF_LIGHT
+from repro.obs import span, traced
 from repro.network.fiber import city_fiber_edges
 from repro.network.links import LinkCapacities, LinkKind
 from repro.network.topology import constellation_isl_edges, isl_lengths_m
@@ -305,6 +306,7 @@ def gso_compliant_edge_mask(
     return compliant
 
 
+@traced("graph_build")
 def build_snapshot_graph(
     constellation: Constellation,
     stations: StationTable,
@@ -338,94 +340,96 @@ def build_snapshot_graph(
     num_sats = len(sat_ecef)
     num_gts = len(gt_ecef)
 
-    gt_units = geodetic_to_ecef(stations.lats, stations.lons, 0.0) / EARTH_RADIUS
-    tree = cKDTree(gt_units)
+    with span("kdtree_query"):
+        gt_units = geodetic_to_ecef(stations.lats, stations.lons, 0.0) / EARTH_RADIUS
+        tree = cKDTree(gt_units)
 
-    edge_u: list[np.ndarray] = []
-    edge_v: list[np.ndarray] = []
-    offsets = constellation.shell_offsets()
-    for offset, shell in zip(offsets, constellation.shells):
-        psi = coverage_central_angle_rad(shell.altitude_m, shell.min_elevation_deg)
-        chord = 2.0 * np.sin(psi / 2.0)
-        shell_sats = sat_ecef[offset : offset + shell.num_satellites]
-        sat_units = shell_sats / np.linalg.norm(shell_sats, axis=1, keepdims=True)
-        neighbour_lists = tree.query_ball_point(sat_units, r=chord)
-        for local_idx, gt_indices in enumerate(neighbour_lists):
-            if not gt_indices:
-                continue
-            gts = np.asarray(gt_indices, dtype=np.int64)
-            edge_u.append(np.full(len(gts), offset + local_idx, dtype=np.int64))
-            edge_v.append(gts + num_sats)
+        edge_u: list[np.ndarray] = []
+        edge_v: list[np.ndarray] = []
+        offsets = constellation.shell_offsets()
+        for offset, shell in zip(offsets, constellation.shells):
+            psi = coverage_central_angle_rad(shell.altitude_m, shell.min_elevation_deg)
+            chord = 2.0 * np.sin(psi / 2.0)
+            shell_sats = sat_ecef[offset : offset + shell.num_satellites]
+            sat_units = shell_sats / np.linalg.norm(shell_sats, axis=1, keepdims=True)
+            neighbour_lists = tree.query_ball_point(sat_units, r=chord)
+            for local_idx, gt_indices in enumerate(neighbour_lists):
+                if not gt_indices:
+                    continue
+                gts = np.asarray(gt_indices, dtype=np.int64)
+                edge_u.append(np.full(len(gts), offset + local_idx, dtype=np.int64))
+                edge_v.append(gts + num_sats)
 
-    if edge_u:
-        u = np.concatenate(edge_u)
-        v = np.concatenate(edge_v)
-    else:
-        u = np.empty(0, dtype=np.int64)
-        v = np.empty(0, dtype=np.int64)
-    gt_sat_edges = np.stack([u, v], axis=1)
+    with span("edge_assembly"):
+        if edge_u:
+            u = np.concatenate(edge_u)
+            v = np.concatenate(edge_v)
+        else:
+            u = np.empty(0, dtype=np.int64)
+            v = np.empty(0, dtype=np.int64)
+        gt_sat_edges = np.stack([u, v], axis=1)
 
-    if gso_policy is not None and len(gt_sat_edges):
-        compliant = gso_compliant_edge_mask(
-            stations.lats,
-            stations.lons,
-            gt_ecef,
-            sat_ecef,
-            gt_sat_edges[:, 1] - num_sats,
-            gt_sat_edges[:, 0],
-            gso_policy,
-        )
-        gt_sat_edges = gt_sat_edges[compliant]
+        if gso_policy is not None and len(gt_sat_edges):
+            compliant = gso_compliant_edge_mask(
+                stations.lats,
+                stations.lons,
+                gt_ecef,
+                sat_ecef,
+                gt_sat_edges[:, 1] - num_sats,
+                gt_sat_edges[:, 0],
+                gso_policy,
+            )
+            gt_sat_edges = gt_sat_edges[compliant]
 
-    gt_sat_dists = np.linalg.norm(
-        sat_ecef[gt_sat_edges[:, 0]] - gt_ecef[gt_sat_edges[:, 1] - num_sats], axis=1
-    ) if len(gt_sat_edges) else np.empty(0)
+        gt_sat_dists = np.linalg.norm(
+            sat_ecef[gt_sat_edges[:, 0]] - gt_ecef[gt_sat_edges[:, 1] - num_sats], axis=1
+        ) if len(gt_sat_edges) else np.empty(0)
 
-    if max_gts_per_satellite is not None and len(gt_sat_edges):
-        if max_gts_per_satellite < 1:
-            raise ValueError("max_gts_per_satellite must be >= 1")
-        # Per satellite, keep the N closest GTs (slant distance). Stable
-        # lexsort by (satellite, distance), then rank within satellite.
-        order = np.lexsort((gt_sat_dists, gt_sat_edges[:, 0]))
-        sorted_sats = gt_sat_edges[order, 0]
-        # Rank of each entry within its satellite group.
-        group_start = np.concatenate(
-            [[0], np.nonzero(np.diff(sorted_sats))[0] + 1]
-        )
-        ranks = np.arange(len(order))
-        ranks = ranks - np.repeat(
-            group_start, np.diff(np.concatenate([group_start, [len(order)]]))
-        )
-        keep_sorted = ranks < max_gts_per_satellite
-        keep = np.zeros(len(gt_sat_edges), dtype=bool)
-        keep[order[keep_sorted]] = True
-        gt_sat_edges = gt_sat_edges[keep]
-        gt_sat_dists = gt_sat_dists[keep]
+        if max_gts_per_satellite is not None and len(gt_sat_edges):
+            if max_gts_per_satellite < 1:
+                raise ValueError("max_gts_per_satellite must be >= 1")
+            # Per satellite, keep the N closest GTs (slant distance). Stable
+            # lexsort by (satellite, distance), then rank within satellite.
+            order = np.lexsort((gt_sat_dists, gt_sat_edges[:, 0]))
+            sorted_sats = gt_sat_edges[order, 0]
+            # Rank of each entry within its satellite group.
+            group_start = np.concatenate(
+                [[0], np.nonzero(np.diff(sorted_sats))[0] + 1]
+            )
+            ranks = np.arange(len(order))
+            ranks = ranks - np.repeat(
+                group_start, np.diff(np.concatenate([group_start, [len(order)]]))
+            )
+            keep_sorted = ranks < max_gts_per_satellite
+            keep = np.zeros(len(gt_sat_edges), dtype=bool)
+            keep[order[keep_sorted]] = True
+            gt_sat_edges = gt_sat_edges[keep]
+            gt_sat_dists = gt_sat_dists[keep]
 
-    edge_blocks = [gt_sat_edges.reshape(-1, 2)]
-    dist_blocks = [gt_sat_dists]
-    kind_blocks = [np.full(len(gt_sat_edges), _KIND_GT_SAT, dtype=np.int8)]
+        edge_blocks = [gt_sat_edges.reshape(-1, 2)]
+        dist_blocks = [gt_sat_dists]
+        kind_blocks = [np.full(len(gt_sat_edges), _KIND_GT_SAT, dtype=np.int8)]
 
-    if mode.uses_isls:
-        isl_edges = constellation_isl_edges(constellation)
-        edge_blocks.append(isl_edges)
-        dist_blocks.append(isl_lengths_m(isl_edges, sat_ecef))
-        kind_blocks.append(np.full(len(isl_edges), _KIND_ISL, dtype=np.int8))
+        if mode.uses_isls:
+            isl_edges = constellation_isl_edges(constellation)
+            edge_blocks.append(isl_edges)
+            dist_blocks.append(isl_lengths_m(isl_edges, sat_ecef))
+            kind_blocks.append(np.full(len(isl_edges), _KIND_ISL, dtype=np.int8))
 
-    if fiber_max_km is not None and stations.city_count >= 2:
-        city_edges, fiber_dists = city_fiber_edges(
-            stations.lats[: stations.city_count],
-            stations.lons[: stations.city_count],
-            fiber_max_km,
-        )
-        if len(city_edges):
-            edge_blocks.append(city_edges + num_sats)
-            dist_blocks.append(fiber_dists)
-            kind_blocks.append(np.full(len(city_edges), _KIND_FIBER, dtype=np.int8))
+        if fiber_max_km is not None and stations.city_count >= 2:
+            city_edges, fiber_dists = city_fiber_edges(
+                stations.lats[: stations.city_count],
+                stations.lons[: stations.city_count],
+                fiber_max_km,
+            )
+            if len(city_edges):
+                edge_blocks.append(city_edges + num_sats)
+                dist_blocks.append(fiber_dists)
+                kind_blocks.append(np.full(len(city_edges), _KIND_FIBER, dtype=np.int8))
 
-    edges = np.vstack(edge_blocks)
-    dists = np.concatenate(dist_blocks)
-    kinds = np.concatenate(kind_blocks)
+        edges = np.vstack(edge_blocks)
+        dists = np.concatenate(dist_blocks)
+        kinds = np.concatenate(kind_blocks)
 
     return SnapshotGraph(
         time_s=time_s,

@@ -19,6 +19,8 @@ import numpy as np
 from scipy import sparse
 from scipy.sparse import csgraph
 
+from repro.obs import span
+
 __all__ = [
     "Path",
     "shortest_path",
@@ -51,9 +53,10 @@ def shortest_paths_from(matrix: sparse.csr_matrix, source: int):
     Returns ``(dist, pred)`` arrays; unreachable nodes have
     ``dist = inf`` and ``pred = -9999`` (scipy's sentinel).
     """
-    dist, pred = csgraph.dijkstra(
-        matrix, directed=True, indices=source, return_predecessors=True
-    )
+    with span("dijkstra"):
+        dist, pred = csgraph.dijkstra(
+            matrix, directed=True, indices=source, return_predecessors=True
+        )
     return dist, pred
 
 
@@ -78,13 +81,14 @@ def shortest_path(
     matrix: sparse.csr_matrix, source: int, target: int
 ) -> Path | None:
     """Single-pair shortest path, or ``None`` when disconnected."""
-    dist, pred = csgraph.dijkstra(
-        matrix,
-        directed=True,
-        indices=source,
-        return_predecessors=True,
-        min_only=False,
-    )
+    with span("dijkstra"):
+        dist, pred = csgraph.dijkstra(
+            matrix,
+            directed=True,
+            indices=source,
+            return_predecessors=True,
+            min_only=False,
+        )
     nodes = extract_path(pred, source, target)
     if nodes is None:
         return None

@@ -93,6 +93,7 @@ def save_experiment_result(result: ExperimentResult, path: str | Path) -> Path:
     if path.suffix != ".json":
         path = path.with_suffix(".json")
     payload = {
+        "kind": "result",
         "experiment_id": result.experiment_id,
         "title": result.title,
         "scale_name": result.scale_name,
@@ -111,7 +112,10 @@ def load_experiment_result(path: str | Path) -> ExperimentResult:
 
     Arrays come back as plain lists (JSON has no ndarray); callers that
     need arrays should wrap with ``np.asarray``. Malformed or legacy
-    payloads raise a ``ValueError`` naming the missing key(s).
+    payloads raise a ``ValueError`` naming the missing key(s); a payload
+    of a different kind — e.g. the ``metrics.json`` that ``repro run
+    --out DIR --profile`` writes beside the results — is rejected by its
+    ``kind`` tag rather than loaded as garbage.
     """
     path = Path(path)
     payload = json.loads(path.read_text())
@@ -119,6 +123,11 @@ def load_experiment_result(path: str | Path) -> ExperimentResult:
         raise ValueError(
             f"malformed experiment result {path}: expected a JSON object, "
             f"got {type(payload).__name__}"
+        )
+    kind = payload.get("kind", "result")  # pre-observability files: no tag
+    if kind != "result":
+        raise ValueError(
+            f"{path} holds a {kind!r} payload, not an experiment result"
         )
     missing = [key for key in _RESULT_KEYS if key not in payload]
     if missing:

@@ -16,6 +16,22 @@ from repro.orbits.constellation import Constellation, Shell
 from repro.orbits.presets import starlink
 
 
+def pytest_addoption(parser):
+    """Add ``--update-golden``: regenerate the golden-value file.
+
+    Run ``PYTHONPATH=src python -m pytest tests/test_golden_values.py
+    --update-golden`` after an *intentional* numerics change, then
+    commit the updated ``tests/data/golden.json`` alongside the change
+    that caused it.
+    """
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/data/golden.json from the current code",
+    )
+
+
 TINY_SCALE = ScenarioScale(
     name="tiny",
     num_cities=40,

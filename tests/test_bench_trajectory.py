@@ -1,0 +1,144 @@
+"""Tests for the perf-trajectory recorder (``scripts/bench_trajectory.py``).
+
+The script is CI's perf-regression gate, so its record format, its
+comparison logic, and the end-to-end "second run compares against the
+first" loop are all locked here. The end-to-end tests run at smoke scale
+(seconds, not minutes).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import BENCH_SCHEMA, validate
+
+SCRIPT = Path(__file__).parent.parent / "scripts" / "bench_trajectory.py"
+
+
+@pytest.fixture(scope="module")
+def bench():
+    """The script loaded as a module (it has no package home)."""
+    spec = importlib.util.spec_from_file_location("bench_trajectory", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["bench_trajectory"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _record(entries: dict, config: dict | None = None) -> dict:
+    return {
+        "kind": "bench-trajectory",
+        "schema_version": 1,
+        "created_utc": "2026-01-01T00:00:00Z",
+        "config": config or {"scale": "bench-smoke"},
+        "entries": entries,
+    }
+
+
+class TestCompare:
+    def test_flags_growth_past_threshold(self, bench):
+        previous = _record({"fig2": {"wall_s": 1.0}})
+        current = _record({"fig2": {"wall_s": 1.5}})
+        regressions = bench.compare(current, previous, threshold=0.25)
+        assert len(regressions) == 1
+        assert "fig2" in regressions[0]
+
+    def test_tolerates_growth_within_threshold(self, bench):
+        previous = _record({"fig2": {"wall_s": 1.0}})
+        current = _record({"fig2": {"wall_s": 1.2}})
+        assert bench.compare(current, previous, threshold=0.25) == []
+
+    def test_skips_new_and_noise_floor_entries(self, bench):
+        previous = _record({"tiny": {"wall_s": 0.001}})
+        current = _record(
+            {"tiny": {"wall_s": 0.01}, "brand_new": {"wall_s": 9.0}}
+        )
+        # 10x growth on a sub-noise-floor timing is not a regression,
+        # and an entry with no baseline cannot regress.
+        assert bench.compare(current, previous, threshold=0.25) == []
+
+
+class TestPreviousRecord:
+    def test_picks_latest_and_excludes_current(self, bench, tmp_path):
+        old = tmp_path / "BENCH_20260101-000000.json"
+        new = tmp_path / "BENCH_20260201-000000.json"
+        old.write_text("{}")
+        new.write_text("{}")
+        assert bench.previous_record(tmp_path, exclude=new) == old
+        assert bench.previous_record(tmp_path, exclude=None) == new
+        assert bench.previous_record(tmp_path / "empty", exclude=None) is None
+
+
+class TestPytestBenchmarkFold:
+    def test_folds_means_as_entries(self, bench, tmp_path):
+        export = tmp_path / "pytest_bench.json"
+        export.write_text(
+            json.dumps(
+                {
+                    "benchmarks": [
+                        {"name": "test_bench_fig2", "stats": {"mean": 2.5}},
+                    ]
+                }
+            )
+        )
+        entries = bench.fold_pytest_benchmarks(export)
+        assert entries == {
+            "test_bench_fig2": {"source": "pytest-benchmark", "wall_s": 2.5}
+        }
+
+
+class TestEndToEnd:
+    def test_first_run_writes_record_second_run_compares(
+        self, bench, tmp_path, capsys
+    ):
+        assert bench.main(["--smoke", "--out", str(tmp_path)]) == 0
+        first_out = capsys.readouterr().out
+        assert "no previous record" in first_out
+        records = sorted(tmp_path.glob("BENCH_*.json"))
+        assert len(records) == 1
+        payload = json.loads(records[0].read_text())
+        validate(payload, BENCH_SCHEMA)
+        assert set(payload["entries"]) == {"fig2", "fig4"}
+        for entry in payload["entries"].values():
+            assert entry["spans"], "bench entries must carry span aggregates"
+
+        # Second run compares against the first; a generous threshold
+        # keeps this robust on loaded CI machines.
+        assert bench.main(["--smoke", "--out", str(tmp_path), "--threshold", "5.0"]) == 0
+        second_out = capsys.readouterr().out
+        assert "compared against" in second_out
+        assert len(list(tmp_path.glob("BENCH_*.json"))) == 2
+
+    def test_regression_exits_nonzero(self, bench, tmp_path, capsys, monkeypatch):
+        assert bench.main(["--smoke", "--out", str(tmp_path)]) == 0
+        baseline = next(tmp_path.glob("BENCH_*.json"))
+        # Doctor the baseline to claim everything used to be instant.
+        payload = json.loads(baseline.read_text())
+        for entry in payload["entries"].values():
+            entry["wall_s"] = 0.06  # above the noise floor, far below reality
+        baseline.write_text(json.dumps(payload))
+        capsys.readouterr()
+        code = bench.main(
+            ["--smoke", "--out", str(tmp_path), "--baseline", str(baseline)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "PERFORMANCE REGRESSIONS" in out
+
+    def test_mismatched_config_skips_comparison(self, bench, tmp_path, capsys):
+        assert bench.main(["--smoke", "--out", str(tmp_path)]) == 0
+        baseline = next(tmp_path.glob("BENCH_*.json"))
+        payload = json.loads(baseline.read_text())
+        payload["config"]["scale"] = "something-else"
+        baseline.write_text(json.dumps(payload))
+        capsys.readouterr()
+        code = bench.main(
+            ["--smoke", "--out", str(tmp_path), "--baseline", str(baseline)]
+        )
+        assert code == 0
+        assert "skipping comparison" in capsys.readouterr().out

@@ -47,6 +47,11 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig9", "--keep-going", "--fail-fast"])
 
+    def test_run_parses_profile_flag(self):
+        args = build_parser().parse_args(["run", "fig2", "--profile"])
+        assert args.profile
+        assert not build_parser().parse_args(["run", "fig2"]).profile
+
 
 class TestCommands:
     def test_list(self, capsys):

@@ -1,0 +1,102 @@
+"""Golden-value regression tests for the headline figures.
+
+The paper's qualitative claims are asserted elsewhere; this module locks
+the *exact* reduced-scale numbers — Fig. 2 min-RTT medians and Fig. 4
+aggregate throughput for both connectivity modes — into
+``tests/data/golden.json``. Any change to the orbital model, graph
+construction, routing, or allocation that shifts these numbers fails
+here first, turning silent numeric drift into an explicit review step.
+
+After an intentional numerics change, regenerate the file with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_values.py --update-golden
+
+and commit the diff together with the change that caused it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.comparison import compare_latency
+from repro.experiments.fig4_throughput import throughput_matrix
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden.json"
+
+#: Relative tolerance for comparisons: tight enough to catch real model
+#: drift, loose enough to survive BLAS/scipy build differences.
+REL_TOL = 1e-6
+
+
+def _finite_median(values: np.ndarray) -> float:
+    values = np.asarray(values, dtype=float)
+    return float(np.median(values[np.isfinite(values)]))
+
+
+@pytest.fixture(scope="module")
+def computed_golden(tiny_scenario) -> dict:
+    """The current code's answers for every locked quantity."""
+    comparison = compare_latency(tiny_scenario)
+    matrix = throughput_matrix(tiny_scenario)
+    return {
+        "scale": tiny_scenario.scale.name,
+        "fig2_min_rtt_median_ms": {
+            "bp": _finite_median(comparison.bp_stats.min_rtt_ms),
+            "hybrid": _finite_median(comparison.hybrid_stats.min_rtt_ms),
+        },
+        "fig4_aggregate_gbps": {
+            f"{mode}_k{k}": float(gbps) for (mode, k), gbps in matrix.items()
+        },
+    }
+
+
+def _flatten(tree: dict, prefix: str = "") -> dict:
+    flat = {}
+    for key, value in tree.items():
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            flat.update(_flatten(value, path))
+        else:
+            flat[path] = value
+    return flat
+
+
+def test_golden_values(computed_golden, request):
+    """Every locked quantity matches ``tests/data/golden.json``."""
+    if request.config.getoption("--update-golden"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(computed_golden, indent=1) + "\n")
+        pytest.skip(f"regenerated {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} missing; generate it with --update-golden"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    expected = _flatten(golden)
+    actual = _flatten(computed_golden)
+    assert set(actual) == set(expected), "golden key set changed; regenerate"
+    mismatches = []
+    for key, want in expected.items():
+        got = actual[key]
+        if isinstance(want, str):
+            if got != want:
+                mismatches.append(f"{key}: {got!r} != {want!r}")
+        elif got != pytest.approx(want, rel=REL_TOL):
+            mismatches.append(f"{key}: {got!r} != {want!r} (rel tol {REL_TOL})")
+    assert not mismatches, "golden drift:\n  " + "\n  ".join(mismatches)
+
+
+def test_golden_sanity(computed_golden):
+    """The locked quantities themselves are physically sensible."""
+    fig2 = computed_golden["fig2_min_rtt_median_ms"]
+    # Bent-pipe paths can't beat hybrid (which has every BP edge and more).
+    assert fig2["bp"] >= fig2["hybrid"] > 0
+    fig4 = computed_golden["fig4_aggregate_gbps"]
+    for key, gbps in fig4.items():
+        assert gbps > 0, f"{key} reported non-positive throughput"
+    # More disjoint paths never reduce aggregate throughput.
+    assert fig4["bp_k4"] >= fig4["bp_k1"] * 0.99
+    assert fig4["hybrid_k4"] >= fig4["hybrid_k1"] * 0.99

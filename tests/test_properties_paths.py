@@ -1,0 +1,160 @@
+"""Property-based tests for the k-disjoint-paths routines.
+
+:func:`repro.network.paths.k_edge_disjoint_paths` and
+:func:`~repro.network.paths.k_node_disjoint_paths` mutate the CSR matrix
+in place during the search and promise to restore it; their results
+promise disjointness and non-decreasing lengths. Hypothesis generates
+small random symmetric weighted graphs and checks those invariants hold
+on every one — the hand-written unit tests only cover a few fixed
+topologies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.network.paths import k_edge_disjoint_paths, k_node_disjoint_paths
+
+
+@st.composite
+def symmetric_graphs(draw):
+    """A small random undirected weighted graph as (csr_matrix, s, t).
+
+    Node count 4-12; each undirected edge appears with probability ~0.5
+    and a positive finite weight, stored symmetrically the way the
+    snapshot graphs are. Source and target are distinct nodes (possibly
+    disconnected — the routines must cope).
+    """
+    n = draw(st.integers(min_value=4, max_value=12))
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans()):
+                weight = draw(
+                    st.floats(
+                        min_value=1.0,
+                        max_value=1e6,
+                        allow_nan=False,
+                        allow_infinity=False,
+                    )
+                )
+                edges.append((u, v, weight))
+    rows, cols, data = [], [], []
+    for u, v, w in edges:
+        rows += [u, v]
+        cols += [v, u]
+        data += [w, w]
+    matrix = sparse.csr_matrix(
+        (np.array(data, dtype=float), (np.array(rows), np.array(cols))),
+        shape=(n, n),
+    )
+    source = draw(st.integers(min_value=0, max_value=n - 1))
+    target = draw(
+        st.integers(min_value=0, max_value=n - 1).filter(lambda t: t != source)
+    )
+    return matrix, source, target
+
+
+def _matrix_fingerprint(matrix: sparse.csr_matrix):
+    """Bit-exact copies of the CSR internals for restoration checks."""
+    return (
+        matrix.data.copy(),
+        matrix.indices.copy(),
+        matrix.indptr.copy(),
+    )
+
+
+def _assert_restored(matrix: sparse.csr_matrix, fingerprint) -> None:
+    data, indices, indptr = fingerprint
+    np.testing.assert_array_equal(matrix.data, data)
+    np.testing.assert_array_equal(matrix.indices, indices)
+    np.testing.assert_array_equal(matrix.indptr, indptr)
+
+
+@pytest.mark.parametrize("finder", [k_edge_disjoint_paths, k_node_disjoint_paths])
+@settings(max_examples=50, deadline=None)
+@given(case=symmetric_graphs(), k=st.integers(min_value=1, max_value=4))
+def test_paths_are_valid_and_matrix_restored(case, k, finder):
+    matrix, source, target = case
+    fingerprint = _matrix_fingerprint(matrix)
+    paths = finder(matrix, source, target, k)
+    _assert_restored(matrix, fingerprint)
+
+    assert len(paths) <= k
+    for path in paths:
+        # Endpoints and edge validity.
+        assert path.nodes[0] == source
+        assert path.nodes[-1] == target
+        assert path.hops >= 1
+        total = 0.0
+        for u, v in path.edge_pairs():
+            weight = matrix[u, v]
+            assert weight > 0, f"path uses nonexistent edge ({u}, {v})"
+            total += float(weight)
+        assert total == pytest.approx(path.length_m, rel=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(case=symmetric_graphs(), k=st.integers(min_value=2, max_value=4))
+def test_edge_disjointness(case, k):
+    matrix, source, target = case
+    paths = k_edge_disjoint_paths(matrix, source, target, k)
+    seen: set[frozenset] = set()
+    for path in paths:
+        for u, v in path.edge_pairs():
+            edge = frozenset((u, v))
+            assert edge not in seen, f"edge {tuple(edge)} reused across paths"
+            seen.add(edge)
+
+
+@settings(max_examples=50, deadline=None)
+@given(case=symmetric_graphs(), k=st.integers(min_value=2, max_value=4))
+def test_node_disjointness(case, k):
+    matrix, source, target = case
+    paths = k_node_disjoint_paths(matrix, source, target, k)
+    seen_intermediate: set[int] = set()
+    for path in paths:
+        intermediates = set(path.nodes[1:-1])
+        assert not (intermediates & seen_intermediate), (
+            "intermediate node shared across node-disjoint paths"
+        )
+        seen_intermediate |= intermediates
+    # Node-disjoint paths are also edge-disjoint.
+    seen_edges: set[frozenset] = set()
+    for path in paths:
+        for u, v in path.edge_pairs():
+            edge = frozenset((u, v))
+            assert edge not in seen_edges
+            seen_edges.add(edge)
+
+
+@pytest.mark.parametrize("finder", [k_edge_disjoint_paths, k_node_disjoint_paths])
+@settings(max_examples=50, deadline=None)
+@given(case=symmetric_graphs(), k=st.integers(min_value=1, max_value=4))
+def test_lengths_non_decreasing(case, k, finder):
+    matrix, source, target = case
+    paths = finder(matrix, source, target, k)
+    lengths = [path.length_m for path in paths]
+    assert lengths == sorted(lengths), (
+        "successive disjoint paths must not get shorter"
+    )
+
+
+@pytest.mark.parametrize("finder", [k_edge_disjoint_paths, k_node_disjoint_paths])
+@settings(max_examples=25, deadline=None)
+@given(case=symmetric_graphs())
+def test_first_path_is_the_shortest_path(case, finder):
+    from repro.network.paths import shortest_path
+
+    matrix, source, target = case
+    direct = shortest_path(matrix, source, target)
+    paths = finder(matrix, source, target, 1)
+    if direct is None:
+        assert paths == []
+    else:
+        assert len(paths) == 1
+        assert paths[0].length_m == pytest.approx(direct.length_m)

@@ -74,13 +74,52 @@ def git_rev() -> str:
     return out.stdout.strip() or "unknown"
 
 
+def engine_cache_summary(counters: dict) -> dict:
+    """Snapshot-engine cache behaviour distilled from obs counters.
+
+    The frame hit rate is the headline: a two-mode sweep that shares
+    geometry frames shows a rate near 0.5 (every frame built once, hit
+    once); a rate of 0 means every graph rebuilt its geometry.
+    """
+    frame_hits = float(counters.get("engine.frame_hits", 0))
+    frame_misses = float(counters.get("engine.frame_misses", 0))
+    total = frame_hits + frame_misses
+    return {
+        "frame_hits": frame_hits,
+        "frame_misses": frame_misses,
+        "frame_hit_rate": frame_hits / total if total else 0.0,
+        "static_hits": float(counters.get("engine.static_hits", 0)),
+        "static_misses": float(counters.get("engine.static_misses", 0)),
+    }
+
+
+def graph_build_aggregate(spans: dict) -> dict | None:
+    """Combined stats of every ``graph_build`` span path in a span tree.
+
+    Graph builds happen under several parents (``snapshot/graph_build``
+    in sweeps, bare ``graph_build`` for one-shot builds), so the bench
+    record folds all paths ending in ``graph_build`` into one aggregate.
+    Returns ``None`` when the entry built no graphs.
+    """
+    total = {"count": 0, "total_s": 0.0, "min_s": float("inf"), "max_s": 0.0}
+    for path, stats in spans.items():
+        if path.split("/")[-1] != "graph_build":
+            continue
+        total["count"] += int(stats["count"])
+        total["total_s"] += float(stats["total_s"])
+        total["min_s"] = min(total["min_s"], float(stats["min_s"]))
+        total["max_s"] = max(total["max_s"], float(stats["max_s"]))
+    return total if total["count"] else None
+
+
 def run_suite(experiment_ids: list[str], scale: ScenarioScale) -> dict:
     """Run the experiments with profiling on; return bench entries.
 
     Each entry carries the experiment's wall/CPU time plus the span tree
-    and counters its instrumented layers reported. A failing experiment
-    aborts the record — a trajectory point for a broken build would only
-    poison later comparisons.
+    and counters its instrumented layers reported, the snapshot-engine
+    cache summary, and the aggregate of its graph-build spans. A failing
+    experiment aborts the record — a trajectory point for a broken build
+    would only poison later comparisons.
     """
     summary = run_experiments(
         list(experiment_ids), scale=scale, profile=True, echo=lambda _: None
@@ -96,7 +135,11 @@ def run_suite(experiment_ids: list[str], scale: ScenarioScale) -> dict:
             "cpu_s": payload["cpu_s"],
             "spans": payload["spans"],
             "counters": payload["counters"],
+            "engine_cache": engine_cache_summary(payload["counters"]),
         }
+        build_agg = graph_build_aggregate(payload["spans"])
+        if build_agg is not None:
+            entries[eid]["graph_build"] = build_agg
     return entries
 
 
@@ -208,6 +251,24 @@ def main(argv: list[str] | None = None) -> int:
     experiment_ids = [e for e in args.experiments.split(",") if e]
 
     entries = run_suite(experiment_ids, scale)
+
+    if args.smoke:
+        # CI gate: the smoke experiments include two-mode sweeps (fig2's
+        # BP+hybrid comparison), which must share geometry frames. A
+        # zero hit rate across the board means the engine's frame cache
+        # has stopped working — fail the build, not just the perf check.
+        rates = {
+            name: entry["engine_cache"]["frame_hit_rate"]
+            for name, entry in entries.items()
+            if "engine_cache" in entry
+        }
+        if rates and max(rates.values()) <= 0.0:
+            print(
+                "ENGINE CACHE REGRESSION: zero frame-cache hit rate on the "
+                f"smoke suite ({rates}); two-mode sweeps should share frames"
+            )
+            return 1
+
     if args.pytest_json is not None:
         entries.update(fold_pytest_benchmarks(args.pytest_json))
 

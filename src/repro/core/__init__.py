@@ -8,6 +8,13 @@ from repro.core.checkpoint import (
     scenario_fingerprint,
 )
 from repro.core.comparison import LatencyComparison, compare_latency
+from repro.core.engine import (
+    EngineCacheStats,
+    GeometryFrame,
+    SnapshotEngine,
+    StaticContext,
+    assemble_graph,
+)
 from repro.core.metrics import (
     PairRttStats,
     cdf_points,
@@ -19,6 +26,7 @@ from repro.core.parallel import (
     SnapshotFailure,
     SweepError,
     compute_rtt_series_parallel,
+    compute_rtt_series_parallel_multi,
     default_worker_count,
 )
 from repro.core.runner import (
@@ -31,6 +39,7 @@ from repro.core.runner import (
 from repro.core.pipeline import (
     RttSeries,
     compute_rtt_series,
+    compute_rtt_series_multi,
     pair_path_at,
     pair_paths_on_graph,
 )
@@ -42,8 +51,15 @@ __all__ = [
     "full_scale_requested",
     "RttSeries",
     "compute_rtt_series",
+    "compute_rtt_series_multi",
     "compute_rtt_series_parallel",
+    "compute_rtt_series_parallel_multi",
     "default_worker_count",
+    "SnapshotEngine",
+    "StaticContext",
+    "GeometryFrame",
+    "EngineCacheStats",
+    "assemble_graph",
     "RttCheckpoint",
     "CheckpointMismatchError",
     "checkpoint_for",

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.metrics import PairRttStats, distribution_summary, rtt_stats
-from repro.core.pipeline import RttSeries, compute_rtt_series
+from repro.core.pipeline import RttSeries, compute_rtt_series_multi
 from repro.core.scenario import Scenario
 from repro.network.graph import ConnectivityMode
 
@@ -74,9 +74,17 @@ class LatencyComparison:
 
 
 def compare_latency(scenario: Scenario, progress=None) -> LatencyComparison:
-    """Run the full Section 4 comparison (both modes, all snapshots)."""
-    bp_series = compute_rtt_series(scenario, ConnectivityMode.BP_ONLY, progress)
-    hybrid_series = compute_rtt_series(scenario, ConnectivityMode.HYBRID, progress)
+    """Run the full Section 4 comparison (both modes, all snapshots).
+
+    Both modes sweep together (time-outer, mode-inner), so each
+    snapshot's geometry frame — propagation plus visibility queries —
+    is computed once and assembled twice.
+    """
+    series = compute_rtt_series_multi(
+        scenario, [ConnectivityMode.BP_ONLY, ConnectivityMode.HYBRID], progress
+    )
+    bp_series = series[ConnectivityMode.BP_ONLY]
+    hybrid_series = series[ConnectivityMode.HYBRID]
     return LatencyComparison(
         scenario=scenario,
         bp_series=bp_series,

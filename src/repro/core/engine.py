@@ -1,0 +1,522 @@
+"""Layered snapshot engine: cached static / per-time / per-mode stages.
+
+:func:`repro.network.graph.build_snapshot_graph` recomputes everything
+on every call, yet most of its work is invariant across the calls real
+workloads make:
+
+* **static layer** (:class:`StaticContext`) — invariant for a
+  (constellation, ground segment): station ECEF for the static ground
+  nodes, the KD-tree over their unit vectors, per-shell coverage-cone
+  chord radii, the +Grid ISL index topology, and memoized fiber edge
+  sets per ``fiber_max_km``. Built once per engine.
+* **per-time layer** (:class:`GeometryFrame`) — invariant for one
+  snapshot time across connectivity modes and policies: satellite ECEF
+  (propagation), the materialized station table (aircraft move), GT
+  ECEF, the *candidate* GT-satellite visibility edges with slant
+  distances, and lazily the ISL lengths. Frames live in an LRU cache.
+* **per-mode assembly** (:func:`assemble_graph`) — the cheap final
+  step: BP drops ISL rows, hybrid/ISL modes append them, and the GSO /
+  beam-limit / fiber / fault filters apply here. Faults are *never*
+  cached: a frame holds only fault-free geometry, so an ambient
+  :class:`~repro.faults.FaultSpec` can neither leak into nor out of the
+  cache.
+
+The assembled graphs are numerically identical to
+``build_snapshot_graph`` output (same edges, distances, kinds, in the
+same order) — the splitting only removes redundant recomputation. A
+two-mode sweep therefore pays for propagation and KD-tree queries once
+per snapshot instead of once per (snapshot, mode).
+
+Observability: the engine bumps ``engine.static_hits/misses`` and
+``engine.frame_hits/misses`` counters and nests its work under the
+``graph_build`` span (children: ``frame_build`` with ``kdtree_query``
+on a frame miss, ``edge_assembly`` always), so profiles of the old and
+new paths line up.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.constants import EARTH_RADIUS
+from repro.faults import FaultSpec, apply_faults
+from repro.ground.stations import GroundSegment, StationTable
+from repro.network.fiber import city_fiber_edges
+from repro.network.graph import (
+    _KIND_FIBER,
+    _KIND_GT_SAT,
+    _KIND_ISL,
+    ConnectivityMode,
+    GsoProtectionPolicy,
+    SnapshotGraph,
+    beam_limited_edge_mask,
+    gso_compliant_edge_mask,
+)
+from repro.network.topology import constellation_isl_edges, isl_lengths_m
+from repro.obs import incr, span
+from repro.orbits.constellation import Constellation
+from repro.orbits.coordinates import geodetic_to_ecef
+from repro.orbits.visibility import coverage_central_angle_rad
+
+__all__ = [
+    "EngineCacheStats",
+    "GeometryFrame",
+    "SnapshotEngine",
+    "StaticContext",
+    "assemble_graph",
+]
+
+#: Default number of geometry frames kept alive per engine. A two-mode
+#: same-instant workload needs exactly one; serial one-mode-at-a-time
+#: passes over short series benefit from a few more. Frames are the
+#: memory-heavy layer (candidate edges scale with GTs x coverage), so
+#: the default stays small.
+DEFAULT_FRAME_CACHE_SIZE = 8
+
+
+@dataclass
+class EngineCacheStats:
+    """Local hit/miss counters for one engine (obs-independent).
+
+    The same events also land on the active observability registry as
+    ``engine.*`` counters; these fields exist so tests and callers can
+    inspect cache behaviour without running under :func:`repro.obs.observe`.
+    """
+
+    static_builds: int = 0
+    static_reuses: int = 0
+    frame_hits: int = 0
+    frame_misses: int = 0
+    frame_evictions: int = 0
+    assemblies: int = 0
+
+    def frame_hit_rate(self) -> float:
+        """Fraction of frame requests served from cache (0 when unused)."""
+        total = self.frame_hits + self.frame_misses
+        return self.frame_hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for logs and bench records."""
+        return {
+            "static_builds": self.static_builds,
+            "static_reuses": self.static_reuses,
+            "frame_hits": self.frame_hits,
+            "frame_misses": self.frame_misses,
+            "frame_evictions": self.frame_evictions,
+            "assemblies": self.assemblies,
+            "frame_hit_rate": self.frame_hit_rate(),
+        }
+
+
+@dataclass(frozen=True)
+class StaticContext:
+    """Time- and mode-invariant state of one (constellation, ground) pair.
+
+    ``static_count`` static ground nodes (cities then relays — the
+    station-table prefix whose positions never change) back the KD-tree;
+    aircraft are per-frame. ``shell_params`` holds ``(offset, count,
+    chord)`` per shell: the flat satellite index range plus the coverage
+    cone's chord radius on the unit sphere. ``isl_edges`` is the +Grid
+    topology in flat satellite indices (lengths are per-frame).
+    """
+
+    constellation: Constellation
+    ground: GroundSegment
+    static_count: int
+    static_lats: np.ndarray
+    static_lons: np.ndarray
+    static_ecef: np.ndarray
+    static_tree: cKDTree | None
+    shell_params: tuple[tuple[int, int, float], ...]
+    isl_edges: np.ndarray
+    #: Memoized fiber edge sets keyed by ``fiber_max_km``.
+    _fiber_cache: dict = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def build(cls, constellation: Constellation, ground: GroundSegment) -> "StaticContext":
+        """Precompute every time-invariant piece of graph construction."""
+        city_lats = np.array([c.lat_deg for c in ground.cities])
+        city_lons = np.array([c.lon_deg for c in ground.cities])
+        parts_lat = [city_lats]
+        parts_lon = [city_lons]
+        if ground.use_relays and len(ground.relay_lats):
+            parts_lat.append(ground.relay_lats)
+            parts_lon.append(ground.relay_lons)
+        static_lats = np.concatenate(parts_lat)
+        static_lons = np.concatenate(parts_lon)
+        static_ecef = geodetic_to_ecef(static_lats, static_lons, 0.0)
+        if len(static_lats):
+            static_tree = cKDTree(static_ecef / EARTH_RADIUS)
+        else:
+            static_tree = None
+
+        offsets = constellation.shell_offsets()
+        shell_params = tuple(
+            (
+                offset,
+                shell.num_satellites,
+                2.0
+                * np.sin(
+                    coverage_central_angle_rad(
+                        shell.altitude_m, shell.min_elevation_deg
+                    )
+                    / 2.0
+                ),
+            )
+            for offset, shell in zip(offsets, constellation.shells)
+        )
+        return cls(
+            constellation=constellation,
+            ground=ground,
+            static_count=len(static_lats),
+            static_lats=static_lats,
+            static_lons=static_lons,
+            static_ecef=static_ecef,
+            static_tree=static_tree,
+            shell_params=shell_params,
+            isl_edges=constellation_isl_edges(constellation),
+        )
+
+    def fiber_edges(self, fiber_max_km: float) -> tuple[np.ndarray, np.ndarray]:
+        """Memoized city fiber edges (city indices, metres) for a radius."""
+        key = float(fiber_max_km)
+        cached = self._fiber_cache.get(key)
+        if cached is None:
+            cached = city_fiber_edges(
+                self.static_lats[: self.ground.city_count],
+                self.static_lons[: self.ground.city_count],
+                key,
+            )
+            self._fiber_cache[key] = cached
+        return cached
+
+
+@dataclass
+class GeometryFrame:
+    """Mode-independent geometry of one snapshot time.
+
+    ``cand_edges`` are *candidate* GT-satellite edges — every satellite
+    visible from every GT under the coverage-cone condition, before any
+    policy filter — as ``(m, 2)`` ``[sat_index, gt_node]`` rows with
+    ``cand_dist_m`` slant distances. Assembly filters copies of these;
+    the frame itself is immutable by convention and safe to share
+    across modes, policies, and fault specs.
+    """
+
+    time_s: float
+    stations: StationTable
+    sat_ecef: np.ndarray
+    gt_ecef: np.ndarray
+    cand_edges: np.ndarray
+    cand_dist_m: np.ndarray
+    _static: StaticContext
+    _isl_dist_m: np.ndarray | None = None
+
+    @property
+    def num_sats(self) -> int:
+        """Number of satellites (the GT node-id offset in graphs)."""
+        return len(self.sat_ecef)
+
+    def isl_dist_m(self) -> np.ndarray:
+        """ISL lengths at this snapshot time (lazy, memoized).
+
+        Lazy so BP-only workloads never pay for them; memoized so
+        hybrid and ISL-only assemblies of the same frame share one
+        computation. The memo is idempotent (same deterministic
+        output), so a benign race merely recomputes it.
+        """
+        if self._isl_dist_m is None:
+            self._isl_dist_m = isl_lengths_m(self._static.isl_edges, self.sat_ecef)
+        return self._isl_dist_m
+
+
+def _build_frame(static: StaticContext, time_s: float) -> GeometryFrame:
+    """The per-time layer: propagate, materialize GTs, find candidates."""
+    sat_ecef = static.constellation.positions_ecef(time_s)
+    stations = static.ground.stations_at(time_s)
+    num_sats = len(sat_ecef)
+    static_count = static.static_count
+
+    air_lats = stations.lats[static_count:]
+    air_lons = stations.lons[static_count:]
+    air_alts = stations.altitudes[static_count:]
+    if len(air_lats):
+        air_ecef = geodetic_to_ecef(air_lats, air_lons, air_alts)
+        gt_ecef = np.concatenate([static.static_ecef, air_ecef])
+        air_tree = cKDTree(geodetic_to_ecef(air_lats, air_lons, 0.0) / EARTH_RADIUS)
+    else:
+        gt_ecef = static.static_ecef
+        air_tree = None
+
+    with span("kdtree_query"):
+        edge_u: list[np.ndarray] = []
+        edge_v: list[np.ndarray] = []
+        for offset, count, chord in static.shell_params:
+            shell_sats = sat_ecef[offset : offset + count]
+            sat_units = shell_sats / np.linalg.norm(shell_sats, axis=1, keepdims=True)
+            static_lists = (
+                static.static_tree.query_ball_point(sat_units, r=chord)
+                if static.static_tree is not None
+                else None
+            )
+            air_lists = (
+                air_tree.query_ball_point(sat_units, r=chord)
+                if air_tree is not None
+                else None
+            )
+            for local_idx in range(count):
+                near_static = static_lists[local_idx] if static_lists is not None else []
+                near_air = air_lists[local_idx] if air_lists is not None else []
+                total = len(near_static) + len(near_air)
+                if not total:
+                    continue
+                # Both query_ball_point lists are sorted and every
+                # aircraft index exceeds every static index after the
+                # offset, so static-then-aircraft preserves the sorted
+                # per-satellite order of the monolithic single-tree path.
+                gts = np.empty(total, dtype=np.int64)
+                gts[: len(near_static)] = near_static
+                gts[len(near_static) :] = (
+                    np.asarray(near_air, dtype=np.int64) + static_count
+                )
+                edge_u.append(np.full(total, offset + local_idx, dtype=np.int64))
+                edge_v.append(gts + num_sats)
+
+    if edge_u:
+        u = np.concatenate(edge_u)
+        v = np.concatenate(edge_v)
+    else:
+        u = np.empty(0, dtype=np.int64)
+        v = np.empty(0, dtype=np.int64)
+    cand_edges = np.stack([u, v], axis=1)
+    cand_dist_m = (
+        np.linalg.norm(sat_ecef[u] - gt_ecef[v - num_sats], axis=1)
+        if len(cand_edges)
+        else np.empty(0)
+    )
+    return GeometryFrame(
+        time_s=time_s,
+        stations=stations,
+        sat_ecef=sat_ecef,
+        gt_ecef=gt_ecef,
+        cand_edges=cand_edges,
+        cand_dist_m=cand_dist_m,
+        _static=static,
+    )
+
+
+def assemble_graph(
+    static: StaticContext,
+    frame: GeometryFrame,
+    mode: ConnectivityMode,
+    *,
+    gso_policy: GsoProtectionPolicy | None = None,
+    fiber_max_km: float | None = None,
+    max_gts_per_satellite: int | None = None,
+    faults: FaultSpec | None = None,
+) -> SnapshotGraph:
+    """The per-mode layer: compose a :class:`SnapshotGraph` from a frame.
+
+    Filter order is load-bearing and mirrors the monolithic builder:
+    GSO-noncompliant candidate edges are dropped *first*, then the beam
+    limit ranks what remains (a forbidden edge must not consume a
+    beam), then ISL and fiber rows are appended, and faults are applied
+    to the fully assembled graph. Faults always run here — never in a
+    cached layer — so fault injection cannot poison frames.
+    """
+    stations = frame.stations
+    num_sats = frame.num_sats
+    edges = frame.cand_edges
+    dists = frame.cand_dist_m
+
+    with span("edge_assembly"):
+        if gso_policy is not None and len(edges):
+            compliant = gso_compliant_edge_mask(
+                stations.lats,
+                stations.lons,
+                frame.gt_ecef,
+                frame.sat_ecef,
+                edges[:, 1] - num_sats,
+                edges[:, 0],
+                gso_policy,
+            )
+            edges = edges[compliant]
+            dists = dists[compliant]
+
+        if max_gts_per_satellite is not None and len(edges):
+            keep = beam_limited_edge_mask(edges[:, 0], dists, max_gts_per_satellite)
+            edges = edges[keep]
+            dists = dists[keep]
+        elif max_gts_per_satellite is not None and max_gts_per_satellite < 1:
+            raise ValueError("max_gts_per_satellite must be >= 1")
+
+        edge_blocks = [edges.reshape(-1, 2)]
+        dist_blocks = [dists]
+        kind_blocks = [np.full(len(edges), _KIND_GT_SAT, dtype=np.int8)]
+
+        if mode.uses_isls:
+            edge_blocks.append(static.isl_edges)
+            dist_blocks.append(frame.isl_dist_m())
+            kind_blocks.append(np.full(len(static.isl_edges), _KIND_ISL, dtype=np.int8))
+
+        if fiber_max_km is not None and stations.city_count >= 2:
+            city_edges, fiber_dists = static.fiber_edges(fiber_max_km)
+            if len(city_edges):
+                edge_blocks.append(city_edges + num_sats)
+                dist_blocks.append(fiber_dists)
+                kind_blocks.append(
+                    np.full(len(city_edges), _KIND_FIBER, dtype=np.int8)
+                )
+
+        all_edges = np.vstack(edge_blocks)
+        all_dists = np.concatenate(dist_blocks)
+        all_kinds = np.concatenate(kind_blocks)
+
+    graph = SnapshotGraph(
+        time_s=frame.time_s,
+        mode=mode,
+        num_sats=num_sats,
+        num_gts=stations.total,
+        sat_ecef=frame.sat_ecef,
+        gt_ecef=frame.gt_ecef,
+        edges=all_edges,
+        edge_dist_m=all_dists,
+        edge_kind=all_kinds,
+        stations=stations,
+    )
+    return apply_faults(graph, faults)
+
+
+class SnapshotEngine:
+    """Layered graph construction with caching between the layers.
+
+    One engine per (constellation, ground segment); both are treated as
+    immutable, so the static layer never invalidates. Frames are keyed
+    by exact snapshot time and kept in an LRU cache of
+    ``frame_cache_size`` entries; :meth:`clear` empties it (e.g. after
+    an experiment mutates global state the engine cannot see — there is
+    no such state today, but the escape hatch is cheap).
+
+    Thread-safe for concurrent ``graph_at`` calls: cache bookkeeping is
+    lock-protected and frames are immutable once published.
+    """
+
+    def __init__(
+        self,
+        constellation: Constellation,
+        ground: GroundSegment,
+        frame_cache_size: int = DEFAULT_FRAME_CACHE_SIZE,
+    ):
+        if frame_cache_size < 1:
+            raise ValueError("frame_cache_size must be >= 1")
+        self.constellation = constellation
+        self.ground = ground
+        self.frame_cache_size = frame_cache_size
+        self.stats = EngineCacheStats()
+        self._static: StaticContext | None = None
+        self._frames: OrderedDict[float, GeometryFrame] = OrderedDict()
+        self._lock = threading.Lock()
+
+    @property
+    def static(self) -> StaticContext:
+        """The static layer, built on first access and then reused."""
+        with self._lock:
+            if self._static is None:
+                with span("static_build"):
+                    self._static = StaticContext.build(self.constellation, self.ground)
+                self.stats.static_builds += 1
+                incr("engine.static_misses")
+            else:
+                self.stats.static_reuses += 1
+                incr("engine.static_hits")
+            return self._static
+
+    def frame_at(self, time_s: float) -> GeometryFrame:
+        """The per-time layer for one snapshot, LRU-cached by exact time."""
+        key = float(time_s)
+        static = self.static
+        with self._lock:
+            frame = self._frames.get(key)
+            if frame is not None:
+                self._frames.move_to_end(key)
+                self.stats.frame_hits += 1
+                incr("engine.frame_hits")
+                return frame
+        # Build outside the lock: frame construction is the expensive
+        # stage and concurrent builders of different times shouldn't
+        # serialize. Two racers on the same time build identical frames;
+        # last-in wins and the loser's copy is garbage-collected.
+        with span("frame_build"):
+            frame = _build_frame(static, key)
+        with self._lock:
+            self.stats.frame_misses += 1
+            incr("engine.frame_misses")
+            self._frames[key] = frame
+            self._frames.move_to_end(key)
+            while len(self._frames) > self.frame_cache_size:
+                self._frames.popitem(last=False)
+                self.stats.frame_evictions += 1
+        return frame
+
+    def graph_at(
+        self,
+        time_s: float,
+        mode: ConnectivityMode,
+        *,
+        gso_policy: GsoProtectionPolicy | None = None,
+        fiber_max_km: float | None = None,
+        max_gts_per_satellite: int | None = None,
+        faults: FaultSpec | None = None,
+    ) -> SnapshotGraph:
+        """Assemble one snapshot graph through the cached layers."""
+        with span("graph_build"):
+            frame = self.frame_at(time_s)
+            self.stats.assemblies += 1
+            incr("engine.assemblies")
+            return assemble_graph(
+                self.static,
+                frame,
+                mode,
+                gso_policy=gso_policy,
+                fiber_max_km=fiber_max_km,
+                max_gts_per_satellite=max_gts_per_satellite,
+                faults=faults,
+            )
+
+    def graphs_at(
+        self,
+        time_s: float,
+        modes,
+        *,
+        gso_policy: GsoProtectionPolicy | None = None,
+        fiber_max_km: float | None = None,
+        max_gts_per_satellite: int | None = None,
+        faults: FaultSpec | None = None,
+    ) -> dict[ConnectivityMode, SnapshotGraph]:
+        """All requested modes of one instant, from one shared frame."""
+        return {
+            mode: self.graph_at(
+                time_s,
+                mode,
+                gso_policy=gso_policy,
+                fiber_max_km=fiber_max_km,
+                max_gts_per_satellite=max_gts_per_satellite,
+                faults=faults,
+            )
+            for mode in modes
+        }
+
+    def cached_frame_times(self) -> list[float]:
+        """Snapshot times currently held in the frame cache (LRU order)."""
+        with self._lock:
+            return list(self._frames)
+
+    def clear(self) -> None:
+        """Drop every cached frame (the static layer stays)."""
+        with self._lock:
+            self._frames.clear()

@@ -50,12 +50,17 @@ __all__ = [
     "SnapshotFailure",
     "SweepError",
     "compute_rtt_series_parallel",
+    "compute_rtt_series_parallel_multi",
     "default_worker_count",
 ]
 
-# Worker-process state, set by the pool initializer.
+# Worker-process state, set by the pool initializer. The scenario is
+# unpickled without its engine (see ``Scenario.__getstate__``), so each
+# worker lazily builds one process-local engine and every snapshot in
+# its chunk — and every mode of each snapshot — shares that engine's
+# static layer and geometry frames.
 _WORKER_SCENARIO: Scenario | None = None
-_WORKER_MODE: ConnectivityMode | None = None
+_WORKER_MODES: tuple[ConnectivityMode, ...] | None = None
 _WORKER_FAULT_HOOK: Callable[[int, float], None] | None = None
 _WORKER_COLLECT_METRICS: bool = False
 
@@ -124,94 +129,128 @@ def default_worker_count() -> int:
 
 def _init_worker(
     scenario: Scenario,
-    mode: ConnectivityMode,
+    modes: tuple[ConnectivityMode, ...],
     fault_hook: Callable[[int, float], None] | None = None,
     collect_metrics: bool = False,
 ) -> None:
-    global _WORKER_SCENARIO, _WORKER_MODE, _WORKER_FAULT_HOOK
+    global _WORKER_SCENARIO, _WORKER_MODES, _WORKER_FAULT_HOOK
     global _WORKER_COLLECT_METRICS
     _WORKER_SCENARIO = scenario
-    _WORKER_MODE = mode
+    _WORKER_MODES = tuple(modes)
     _WORKER_FAULT_HOOK = fault_hook
     _WORKER_COLLECT_METRICS = collect_metrics
 
 
-def _snapshot_rtts(time_s: float) -> np.ndarray:
-    assert _WORKER_SCENARIO is not None and _WORKER_MODE is not None
-    graph = _WORKER_SCENARIO.graph_at(float(time_s), _WORKER_MODE)
-    return _pair_rtts_on_graph(graph, _WORKER_SCENARIO.pairs)
+def _snapshot_rtts(time_s: float) -> "dict[ConnectivityMode, np.ndarray]":
+    assert _WORKER_SCENARIO is not None and _WORKER_MODES is not None
+    rows = {}
+    for mode in _WORKER_MODES:
+        # One ``snapshot`` span per (time, mode), matching the serial
+        # pipeline's span shape; all modes assemble from one cached
+        # geometry frame via the worker's process-local engine.
+        with obs.span("snapshot"):
+            graph = _WORKER_SCENARIO.graph_at(float(time_s), mode)
+            rows[mode] = _pair_rtts_on_graph(graph, _WORKER_SCENARIO.pairs)
+    return rows
 
 
-def _eval_snapshot(index: int, time_s: float) -> tuple[np.ndarray, dict | None]:
-    """Worker task: one snapshot's RTT row (fault hook first, for tests).
+def _eval_snapshot(
+    index: int, time_s: float
+) -> "tuple[dict[ConnectivityMode, np.ndarray], dict | None]":
+    """Worker task: one snapshot's RTT rows (fault hook first, for tests).
 
-    Returns ``(row, metrics_payload)``: when the parent is profiling,
-    each task collects its own span/counter aggregate and ships it back
-    alongside the result — the same future the fault policy already
-    watches — so worker instrumentation survives retries, pool
-    recreation, and the serial fallback without a side channel.
+    Returns ``(rows_by_mode, metrics_payload)``: when the parent is
+    profiling, each task collects its own span/counter aggregate and
+    ships it back alongside the result — the same future the fault
+    policy already watches — so worker instrumentation survives retries,
+    pool recreation, and the serial fallback without a side channel.
     """
     if not _WORKER_COLLECT_METRICS:
         if _WORKER_FAULT_HOOK is not None:
             _WORKER_FAULT_HOOK(index, time_s)
         return _snapshot_rtts(time_s), None
     with obs.observe() as registry:
-        with obs.span("snapshot"):
-            if _WORKER_FAULT_HOOK is not None:
-                _WORKER_FAULT_HOOK(index, time_s)
-            row = _snapshot_rtts(time_s)
-    return row, registry.snapshot()
+        if _WORKER_FAULT_HOOK is not None:
+            _WORKER_FAULT_HOOK(index, time_s)
+        rows = _snapshot_rtts(time_s)
+    return rows, registry.snapshot()
 
 
-def compute_rtt_series_parallel(
+def compute_rtt_series_parallel_multi(
     scenario: Scenario,
-    mode: ConnectivityMode,
+    modes,
     processes: int | None = None,
     *,
-    checkpoint: RttCheckpoint | None = None,
+    checkpoints: "dict[ConnectivityMode, RttCheckpoint] | None" = None,
     policy: FaultPolicy | None = None,
     progress: Callable[[int, int], None] | None = None,
     fault_hook: Callable[[int, float], None] | None = None,
-) -> RttSeries:
-    """Drop-in parallel replacement for ``compute_rtt_series``.
+) -> "dict[ConnectivityMode, RttSeries]":
+    """Parallel multi-mode replacement for ``compute_rtt_series_multi``.
 
-    Results are bit-identical to the serial version (each snapshot's
-    computation is deterministic and independent). Falls back to the
-    serial path when only one process is requested.
+    Each worker task evaluates *all* requested modes of one snapshot, so
+    the modes share the worker's process-local geometry frame — the
+    parallel analogue of the serial sweep's time-outer/mode-inner loop.
+    Results are bit-identical to the serial version.
 
-    ``checkpoint`` (or the ambient checkpoint root, see
-    :mod:`repro.core.checkpoint`) makes the sweep resumable: completed
-    snapshots are loaded from disk instead of recomputed, and every new
-    row is persisted the moment it lands. ``policy`` tunes the
-    retry/timeout/fallback behaviour. ``progress`` is called as
-    ``progress(done, total)`` as rows land. ``fault_hook`` is a test
-    seam: a picklable callable run inside each worker before the real
-    computation (raise/hang/exit to simulate crashes); the serial
-    fallback and resumed rows never invoke it.
+    ``checkpoints`` maps modes to checkpoints; modes without an entry
+    fall back to the ambient checkpoint root (see
+    :mod:`repro.core.checkpoint`). A snapshot already on disk for every
+    mode is loaded, not recomputed. ``policy`` tunes the retry/timeout/
+    fallback behaviour. ``progress`` is called as ``progress(done,
+    total)`` as snapshots land (a snapshot counts once all its modes
+    are in). ``fault_hook`` is a test seam: a picklable callable run
+    inside each worker, once per snapshot, before the real computation
+    (raise/hang/exit to simulate crashes); the serial fallback and
+    resumed rows never invoke it.
     """
+    modes = list(modes)
     times = scenario.times_s
     total = len(times)
     policy = policy or FaultPolicy()
-    if checkpoint is None:
-        checkpoint = active_checkpoint_for(scenario, mode)
+    resolved: dict[ConnectivityMode, RttCheckpoint | None] = dict(checkpoints or {})
+    for mode in modes:
+        if resolved.get(mode) is None:
+            resolved[mode] = active_checkpoint_for(scenario, mode)
 
-    rows: dict[int, np.ndarray] = {}
-    if checkpoint is not None:
-        rows = checkpoint.load_completed()
-        if rows and progress is not None:
-            progress(len(rows), total)
-    pending = [i for i in range(total) if i not in rows]
+    rows: dict[ConnectivityMode, dict[int, np.ndarray]] = {}
+    for mode in modes:
+        checkpoint = resolved[mode]
+        rows[mode] = checkpoint.load_completed() if checkpoint is not None else {}
+
+    def done_count() -> int:
+        return sum(
+            1
+            for i in range(total)
+            if all(i in rows[mode] for mode in modes)
+        )
+
+    done = done_count()
+    if done and progress is not None:
+        progress(done, total)
+    pending = [
+        i for i in range(total) if any(i not in rows[mode] for mode in modes)
+    ]
+
+    def finish() -> dict[ConnectivityMode, RttSeries]:
+        return {
+            mode: RttSeries(
+                mode=mode,
+                times_s=times,
+                rtt_ms=np.stack([rows[mode][i] for i in range(total)], axis=1),
+            )
+            for mode in modes
+        }
 
     if not pending:
-        rtt = np.stack([rows[i] for i in range(total)], axis=1)
-        return RttSeries(mode=mode, times_s=times, rtt_ms=rtt)
+        return finish()
 
     processes = processes or default_worker_count()
     if processes <= 1 or total == 1:
-        from repro.core.pipeline import compute_rtt_series
+        from repro.core.pipeline import compute_rtt_series_multi
 
-        return compute_rtt_series(
-            scenario, mode, progress=progress, checkpoint=checkpoint
+        return compute_rtt_series_multi(
+            scenario, modes, progress=progress, checkpoints=resolved
         )
 
     # Materialize lazy state before forking so workers don't redo it.
@@ -230,15 +269,19 @@ def compute_rtt_series_parallel(
             max_workers=min(processes, len(pending)),
             mp_context=context,
             initializer=_init_worker,
-            initargs=(scenario, mode, fault_hook, collect_metrics),
+            initargs=(scenario, tuple(modes), fault_hook, collect_metrics),
         )
 
-    def record(index: int, row: np.ndarray) -> None:
-        rows[index] = row
-        if checkpoint is not None:
-            checkpoint.store_snapshot(index, row)
+    def record(index: int, mode_rows: "dict[ConnectivityMode, np.ndarray]") -> None:
+        for mode in modes:
+            if index in rows[mode]:
+                continue  # Resumed from this mode's checkpoint already.
+            rows[mode][index] = mode_rows[mode]
+            checkpoint = resolved[mode]
+            if checkpoint is not None:
+                checkpoint.store_snapshot(index, mode_rows[mode])
         if progress is not None:
-            progress(len(rows), total)
+            progress(done_count(), total)
 
     attempts = dict.fromkeys(pending, 0)
     errors: dict[int, str] = {}
@@ -261,7 +304,7 @@ def compute_rtt_series_parallel(
             for index, future in futures.items():
                 attempts[index] += 1
                 try:
-                    row, worker_metrics = future.result(
+                    mode_rows, worker_metrics = future.result(
                         timeout=policy.snapshot_timeout_s
                     )
                 except BrokenProcessPool as exc:
@@ -283,7 +326,7 @@ def compute_rtt_series_parallel(
                 else:
                     if worker_metrics is not None:
                         obs.merge_payload(worker_metrics)
-                    record(index, row)
+                    record(index, mode_rows)
             remaining = failed
             if pool_suspect and remaining:
                 obs.incr("parallel.pool_recreations")
@@ -298,14 +341,19 @@ def compute_rtt_series_parallel(
             attempts[index] += 1
             obs.incr("parallel.serial_fallbacks")
             try:
-                # Runs in-process: spans land on the parent registry.
-                graph = scenario.graph_at(float(times[index]), mode)
-                row = _pair_rtts_on_graph(graph, pairs)
+                # Runs in-process: spans land on the parent registry and
+                # the modes share the parent engine's geometry frame.
+                mode_rows = {
+                    mode: _pair_rtts_on_graph(
+                        scenario.graph_at(float(times[index]), mode), pairs
+                    )
+                    for mode in modes
+                }
             except Exception as exc:
                 errors[index] = f"serial fallback: {exc.__class__.__name__}: {exc}"
                 still_failing.append(index)
             else:
-                record(index, row)
+                record(index, mode_rows)
         remaining = still_failing
 
     if remaining:
@@ -321,5 +369,43 @@ def compute_rtt_series_parallel(
             ]
         )
 
-    rtt = np.stack([rows[i] for i in range(total)], axis=1)
-    return RttSeries(mode=mode, times_s=times, rtt_ms=rtt)
+    return finish()
+
+
+def compute_rtt_series_parallel(
+    scenario: Scenario,
+    mode: ConnectivityMode,
+    processes: int | None = None,
+    *,
+    checkpoint: RttCheckpoint | None = None,
+    policy: FaultPolicy | None = None,
+    progress: Callable[[int, int], None] | None = None,
+    fault_hook: Callable[[int, float], None] | None = None,
+) -> RttSeries:
+    """Drop-in parallel replacement for ``compute_rtt_series``.
+
+    Single-mode wrapper over :func:`compute_rtt_series_parallel_multi`.
+    Results are bit-identical to the serial version (each snapshot's
+    computation is deterministic and independent). Falls back to the
+    serial path when only one process is requested.
+
+    ``checkpoint`` (or the ambient checkpoint root, see
+    :mod:`repro.core.checkpoint`) makes the sweep resumable: completed
+    snapshots are loaded from disk instead of recomputed, and every new
+    row is persisted the moment it lands. ``policy`` tunes the
+    retry/timeout/fallback behaviour. ``progress`` is called as
+    ``progress(done, total)`` as rows land. ``fault_hook`` is a test
+    seam: a picklable callable run inside each worker before the real
+    computation (raise/hang/exit to simulate crashes); the serial
+    fallback and resumed rows never invoke it.
+    """
+    series = compute_rtt_series_parallel_multi(
+        scenario,
+        [mode],
+        processes,
+        checkpoints={mode: checkpoint} if checkpoint is not None else None,
+        policy=policy,
+        progress=progress,
+        fault_hook=fault_hook,
+    )
+    return series[mode]

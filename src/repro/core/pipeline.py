@@ -20,7 +20,13 @@ from repro.flows.traffic import CityPair
 from repro.network.graph import ConnectivityMode, SnapshotGraph
 from repro.network.paths import Path, extract_path
 
-__all__ = ["RttSeries", "compute_rtt_series", "pair_path_at", "pair_paths_on_graph"]
+__all__ = [
+    "RttSeries",
+    "compute_rtt_series",
+    "compute_rtt_series_multi",
+    "pair_path_at",
+    "pair_paths_on_graph",
+]
 
 
 @dataclass(frozen=True)
@@ -44,12 +50,24 @@ class RttSeries:
         return float(np.mean(np.isfinite(self.rtt_ms)))
 
 
+def _pairs_by_source(pairs: list[CityPair]) -> dict[int, list[int]]:
+    """Group pair indices by source city for source-batched Dijkstra.
+
+    One single-source run serves every pair sharing that source; both
+    the RTT sweep and path extraction batch this way. Keys follow first
+    appearance (dict insertion order) — iterate ``sorted(...)`` when a
+    deterministic source order matters.
+    """
+    by_source: dict[int, list[int]] = {}
+    for idx, pair in enumerate(pairs):
+        by_source.setdefault(pair.a, []).append(idx)
+    return by_source
+
+
 def _pair_rtts_on_graph(graph: SnapshotGraph, pairs: list[CityPair]) -> np.ndarray:
     """Shortest-path RTT in ms for every pair on one snapshot graph."""
     matrix = graph.matrix()
-    sources: dict[int, list[int]] = {}
-    for idx, pair in enumerate(pairs):
-        sources.setdefault(pair.a, []).append(idx)
+    sources = _pairs_by_source(pairs)
 
     rtts = np.full(len(pairs), np.inf)
     source_cities = sorted(sources)
@@ -65,6 +83,66 @@ def _pair_rtts_on_graph(graph: SnapshotGraph, pairs: list[CityPair]) -> np.ndarr
     return rtts
 
 
+def compute_rtt_series_multi(
+    scenario: Scenario,
+    modes,
+    progress=None,
+    checkpoints=None,
+) -> "dict[ConnectivityMode, RttSeries]":
+    """RTTs of every scenario pair across every snapshot, for several modes.
+
+    The loop is time-outer, mode-inner: every requested mode of one
+    snapshot assembles from the same cached geometry frame before the
+    sweep moves to the next time, so a BP + hybrid comparison pays for
+    satellite propagation and KD-tree visibility queries exactly once
+    per snapshot — regardless of the engine's frame-cache depth.
+
+    ``progress`` (optional) is called as ``progress(i, total)`` after
+    each snapshot (all modes of it). ``checkpoints`` (optional) maps
+    modes to :class:`repro.core.checkpoint.RttCheckpoint` instances;
+    modes without an entry fall back to the ambient checkpoint root
+    when one is active.
+    """
+    from repro.core.checkpoint import active_checkpoint_for
+
+    modes = list(modes)
+    resolved = dict(checkpoints or {})
+    for mode in modes:
+        if resolved.get(mode) is None:
+            resolved[mode] = active_checkpoint_for(scenario, mode)
+    pairs = scenario.pairs
+    times = scenario.times_s
+    completed = {
+        mode: (
+            resolved[mode].completed_indices()
+            if resolved[mode] is not None
+            else frozenset()
+        )
+        for mode in modes
+    }
+    rtt = {mode: np.full((len(pairs), len(times)), np.inf) for mode in modes}
+    for i, time_s in enumerate(times):
+        for mode in modes:
+            checkpoint = resolved[mode]
+            if i in completed[mode]:
+                incr("checkpoint.hits")
+                rtt[mode][:, i] = checkpoint.load_snapshot(i)
+            else:
+                if checkpoint is not None:
+                    incr("checkpoint.misses")
+                with span("snapshot"):
+                    graph = scenario.graph_at(float(time_s), mode)
+                    rtt[mode][:, i] = _pair_rtts_on_graph(graph, pairs)
+                if checkpoint is not None:
+                    checkpoint.store_snapshot(i, rtt[mode][:, i])
+        if progress is not None:
+            progress(i + 1, len(times))
+    return {
+        mode: RttSeries(mode=mode, times_s=times, rtt_ms=rtt[mode])
+        for mode in modes
+    }
+
+
 def compute_rtt_series(
     scenario: Scenario,
     mode: ConnectivityMode,
@@ -72,6 +150,9 @@ def compute_rtt_series(
     checkpoint=None,
 ) -> RttSeries:
     """RTTs of every scenario pair across every snapshot.
+
+    Single-mode wrapper over :func:`compute_rtt_series_multi` (which
+    shares cached geometry frames when sweeping several modes at once).
 
     ``progress`` (optional) is called as ``progress(i, total)`` after each
     snapshot — long full-scale runs want a heartbeat.
@@ -81,29 +162,13 @@ def compute_rtt_series(
     resumable: already-checkpointed snapshots are loaded from disk, and
     each newly computed row is persisted the moment it completes.
     """
-    from repro.core.checkpoint import active_checkpoint_for
-
-    if checkpoint is None:
-        checkpoint = active_checkpoint_for(scenario, mode)
-    pairs = scenario.pairs
-    times = scenario.times_s
-    completed = checkpoint.completed_indices() if checkpoint is not None else frozenset()
-    rtt = np.full((len(pairs), len(times)), np.inf)
-    for i, time_s in enumerate(times):
-        if i in completed:
-            incr("checkpoint.hits")
-            rtt[:, i] = checkpoint.load_snapshot(i)
-        else:
-            if checkpoint is not None:
-                incr("checkpoint.misses")
-            with span("snapshot"):
-                graph = scenario.graph_at(float(time_s), mode)
-                rtt[:, i] = _pair_rtts_on_graph(graph, pairs)
-            if checkpoint is not None:
-                checkpoint.store_snapshot(i, rtt[:, i])
-        if progress is not None:
-            progress(i + 1, len(times))
-    return RttSeries(mode=mode, times_s=times, rtt_ms=rtt)
+    series = compute_rtt_series_multi(
+        scenario,
+        [mode],
+        progress=progress,
+        checkpoints={mode: checkpoint} if checkpoint is not None else None,
+    )
+    return series[mode]
 
 
 def pair_paths_on_graph(
@@ -114,9 +179,7 @@ def pair_paths_on_graph(
     Source-batched: one predecessor-producing Dijkstra per unique source
     city serves all pairs sharing it. Unreachable pairs yield ``None``.
     """
-    by_source: dict[int, list[int]] = {}
-    for idx, pair in enumerate(pairs):
-        by_source.setdefault(pair.a, []).append(idx)
+    by_source = _pairs_by_source(pairs)
     matrix = graph.matrix()
     paths: list[tuple[int, ...] | None] = [None] * len(pairs)
     for city, pair_indices in by_source.items():

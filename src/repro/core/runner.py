@@ -96,6 +96,10 @@ _BASELINE_COUNTERS = (
     "checkpoint.misses",
     "parallel.worker_retries",
     "parallel.pool_recreations",
+    "engine.static_hits",
+    "engine.static_misses",
+    "engine.frame_hits",
+    "engine.frame_misses",
 )
 
 

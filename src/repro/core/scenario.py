@@ -25,14 +25,14 @@ from repro.constants import (
     RELAY_GRID_SPACING_DEG,
     SNAPSHOT_INTERVAL_S,
 )
-from repro.faults import FaultSpec, active_fault_spec, apply_faults
+from repro.core.engine import SnapshotEngine
+from repro.faults import FaultSpec, active_fault_spec
 from repro.flows.traffic import CityPair, sample_city_pairs
 from repro.ground.stations import GroundSegment
 from repro.network.graph import (
     ConnectivityMode,
     GsoProtectionPolicy,
     SnapshotGraph,
-    build_snapshot_graph,
 )
 from repro.network.snapshots import snapshot_times
 from repro.orbits.constellation import Constellation
@@ -123,6 +123,14 @@ class ScenarioScale:
         return cls.full() if full_scale_requested() else cls.small()
 
 
+#: Scenario fields that act in the engine's assembly layer only.
+#: ``with_assembly`` accepts exactly these; everything else changes the
+#: static or per-time layers and needs a fresh engine.
+_ASSEMBLY_FIELDS = frozenset(
+    {"gso_policy", "fiber_max_km", "max_gts_per_satellite", "faults"}
+)
+
+
 @dataclass(frozen=True)
 class Scenario:
     """A fully specified simulation setup.
@@ -178,8 +186,38 @@ class Scenario:
         return replace(self, constellation=constellation)
 
     def with_faults(self, faults: FaultSpec | None) -> "Scenario":
-        """This scenario degraded by a fault-injection spec."""
-        return replace(self, faults=faults)
+        """This scenario degraded by a fault-injection spec.
+
+        Faults are an assembly-layer knob, so the variant shares this
+        scenario's engine (and hence its cached geometry frames).
+        """
+        return self.with_assembly(faults=faults)
+
+    def with_assembly(self, **overrides) -> "Scenario":
+        """A variant differing only in assembly-layer knobs.
+
+        Accepts ``gso_policy``, ``fiber_max_km``, ``max_gts_per_satellite``
+        and ``faults`` — the knobs applied *after* the cached static and
+        per-time layers. The variant therefore shares this scenario's
+        ground segment, traffic pairs, and :class:`SnapshotEngine`, so a
+        policy sweep (e.g. GSO separation angles, fiber radii) reuses one
+        set of geometry frames instead of rebuilding them per variant.
+        """
+        unknown = set(overrides) - _ASSEMBLY_FIELDS
+        if unknown:
+            raise TypeError(
+                f"with_assembly only accepts assembly-layer fields "
+                f"{sorted(_ASSEMBLY_FIELDS)}; got {sorted(unknown)}"
+            )
+        variant = replace(self, **overrides)
+        # Propagate cached derived state that is invariant under
+        # assembly-only overrides (including the engine: sharing it is
+        # the whole point — frames are fault/policy-free geometry).
+        for name in ("ground", "pairs", "times_s"):
+            if name in self.__dict__:
+                object.__setattr__(variant, name, self.__dict__[name])
+        object.__setattr__(variant, "engine", self.engine)
+        return variant
 
     @cached_property
     def ground(self) -> GroundSegment:
@@ -234,19 +272,64 @@ class Scenario:
             self.scale.num_snapshots, self.scale.snapshot_interval_s
         )
 
+    @cached_property
+    def engine(self) -> SnapshotEngine:
+        """The layered snapshot engine backing :meth:`graph_at`.
+
+        One engine per scenario (created lazily, dropped on pickling so
+        worker processes build their own); assembly-only variants made
+        with :meth:`with_assembly` share it. See
+        :mod:`repro.core.engine` for the layering and cache rules.
+        """
+        return SnapshotEngine(self.constellation, self.ground)
+
+    def _fault_spec(self) -> "FaultSpec | None":
+        """The fault spec in effect: this scenario's, else the ambient one.
+
+        Resolved at graph-build time and handed to the engine's assembly
+        layer explicitly, so the ambient spec can never be baked into a
+        cached geometry frame.
+        """
+        return self.faults if self.faults is not None else active_fault_spec()
+
     def graph_at(
         self, time_s: float, mode: ConnectivityMode
     ) -> SnapshotGraph:
         """Build the network graph for one snapshot of this scenario."""
-        stations = self.ground.stations_at(time_s)
-        graph = build_snapshot_graph(
-            self.constellation,
-            stations,
+        return self.engine.graph_at(
             time_s,
             mode,
             gso_policy=self.gso_policy,
             fiber_max_km=self.fiber_max_km,
             max_gts_per_satellite=self.max_gts_per_satellite,
+            faults=self._fault_spec(),
         )
-        spec = self.faults if self.faults is not None else active_fault_spec()
-        return apply_faults(graph, spec)
+
+    def graphs_at(
+        self, time_s: float, modes
+    ) -> "dict[ConnectivityMode, SnapshotGraph]":
+        """Snapshot graphs for several modes of one instant.
+
+        All modes assemble from one shared geometry frame, so comparing
+        BP against hybrid at the same time pays for propagation and
+        visibility queries once.
+        """
+        return self.engine.graphs_at(
+            time_s,
+            modes,
+            gso_policy=self.gso_policy,
+            fiber_max_km=self.fiber_max_km,
+            max_gts_per_satellite=self.max_gts_per_satellite,
+            faults=self._fault_spec(),
+        )
+
+    def __getstate__(self):
+        """Pickle support: drop the engine (KD-trees, cached frames).
+
+        Workers rebuild a process-local engine on first use, so a chunk
+        of snapshots shares the static layer without shipping megabytes
+        of cached geometry through the process pool.
+        """
+        state = dict(self.__dict__)
+        state.pop("engine", None)
+        return state

@@ -31,8 +31,12 @@ def run(scale: ScenarioScale | None = None, constellation: str = "starlink") -> 
     fractions = []
     hybrid_fractions = []
     for time_s in scenario.times_s:
-        bp_stats = scenario.graph_at(float(time_s), ConnectivityMode.BP_ONLY).satellite_component_stats()
-        hy_stats = scenario.graph_at(float(time_s), ConnectivityMode.HYBRID).satellite_component_stats()
+        # Both modes from one shared geometry frame per snapshot.
+        graphs = scenario.graphs_at(
+            float(time_s), (ConnectivityMode.BP_ONLY, ConnectivityMode.HYBRID)
+        )
+        bp_stats = graphs[ConnectivityMode.BP_ONLY].satellite_component_stats()
+        hy_stats = graphs[ConnectivityMode.HYBRID].satellite_component_stats()
         fractions.append(bp_stats["disconnected_fraction"])
         hybrid_fractions.append(hy_stats["disconnected_fraction"])
         rows.append(

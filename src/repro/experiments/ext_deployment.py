@@ -22,7 +22,7 @@ from dataclasses import replace
 
 import numpy as np
 
-from repro.core.pipeline import compute_rtt_series
+from repro.core.pipeline import compute_rtt_series_multi
 from repro.core.scenario import Scenario, ScenarioScale, full_scale_requested
 from repro.experiments.base import ExperimentResult, register
 from repro.flows.throughput import evaluate_throughput
@@ -84,12 +84,16 @@ def run(scale: ScenarioScale | None = None) -> ExperimentResult:
             Scenario.paper_default("starlink", scale), constellation=constellation
         )
         stage = {}
-        for mode in (ConnectivityMode.BP_ONLY, ConnectivityMode.HYBRID):
-            series = compute_rtt_series(scenario, mode)
+        modes = (ConnectivityMode.BP_ONLY, ConnectivityMode.HYBRID)
+        # Both modes sweep together (shared frames), and the t=0 graphs
+        # for throughput reassemble from the already cached frame.
+        all_series = compute_rtt_series_multi(scenario, modes)
+        graphs = scenario.graphs_at(0.0, modes)
+        for mode in modes:
+            series = all_series[mode]
             finite = series.rtt_ms[np.isfinite(series.rtt_ms)]
-            graph = scenario.graph_at(0.0, mode)
             throughput = evaluate_throughput(
-                graph, scenario.pairs, k=4
+                graphs[mode], scenario.pairs, k=4
             ).aggregate_gbps
             stage[mode.value] = {
                 "reachable": series.reachable_fraction(),

@@ -57,21 +57,24 @@ def run(scale: ScenarioScale | None = None) -> ExperimentResult:
         },
     )
 
-    # Part 2: path churn across snapshots.
+    # Part 2: path churn across snapshots. Time-outer, mode-inner: both
+    # modes of each snapshot assemble from one cached geometry frame.
     scenario = Scenario.paper_default("starlink", scale)
+    modes = (ConnectivityMode.BP_ONLY, ConnectivityMode.HYBRID)
+    previous = dict.fromkeys(modes)
+    stats = {mode: [] for mode in modes}
+    for time_s in scenario.times_s:
+        graphs = scenario.graphs_at(float(time_s), modes)
+        for mode in modes:
+            paths = pair_paths_on_graph(graphs[mode], scenario.pairs)
+            if previous[mode] is not None:
+                stats[mode].append(churn_between(previous[mode], paths))
+            previous[mode] = paths
     churn_rows = []
     churn_data = {}
-    for mode in (ConnectivityMode.BP_ONLY, ConnectivityMode.HYBRID):
-        previous = None
-        stats = []
-        for time_s in scenario.times_s:
-            graph = scenario.graph_at(float(time_s), mode)
-            paths = pair_paths_on_graph(graph, scenario.pairs)
-            if previous is not None:
-                stats.append(churn_between(previous, paths))
-            previous = paths
-        mean_churn = float(np.mean([s["mean_churn"] for s in stats]))
-        changed = float(np.mean([s["changed_fraction"] for s in stats]))
+    for mode in modes:
+        mean_churn = float(np.mean([s["mean_churn"] for s in stats[mode]]))
+        changed = float(np.mean([s["changed_fraction"] for s in stats[mode]]))
         churn_data[mode.value] = {"mean_churn": mean_churn, "changed_fraction": changed}
         churn_rows.append(
             [mode.value, f"{mean_churn:.3f}", f"{100 * changed:.1f}%"]

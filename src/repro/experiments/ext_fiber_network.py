@@ -18,8 +18,6 @@ schemes is left to future work").
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 import numpy as np
 from scipy.sparse import csgraph as _csgraph
 
@@ -77,7 +75,8 @@ def run(scale: ScenarioScale | None = None, k: int = 4) -> ExperimentResult:
         data[(mode.value, None)] = baseline
         rows.append([mode.value, "none", f"{baseline:.0f}", "1.00x", "0.00"])
         for radius in FIBER_RADII_KM:
-            scenario = replace(base, fiber_max_km=radius)
+            # Assembly-only variant: fiber radii sweep over shared frames.
+            scenario = base.with_assembly(fiber_max_km=radius)
             fiber_graph = scenario.graph_at(0.0, mode)
             augmented = evaluate_throughput(
                 fiber_graph, scenario.pairs, k=k

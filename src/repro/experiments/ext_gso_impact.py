@@ -12,8 +12,6 @@ min-RTT inflation and reachability loss under BP versus hybrid.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 import numpy as np
 from scipy.sparse import csgraph as _csgraph
 
@@ -61,7 +59,9 @@ def run(scale: ScenarioScale | None = None) -> ExperimentResult:
     if not pairs:
         raise RuntimeError("no cross-equatorial pairs at this scale")
     policy = GsoProtectionPolicy(STARLINK_GSO_SEPARATION_DEG)
-    protected = replace(base, gso_policy=policy)
+    # Assembly-only variant: shares the base scenario's engine, so the
+    # GSO-protected graphs reuse the same cached geometry frames.
+    protected = base.with_assembly(gso_policy=policy)
 
     rows = []
     data = {}

@@ -46,8 +46,10 @@ def run(scale: ScenarioScale | None = None, k: int = 4, exceedance_pct: float = 
 
     rows = []
     data = {}
-    for mode in (ConnectivityMode.BP_ONLY, ConnectivityMode.HYBRID):
-        graph = scenario.graph_at(0.0, mode)
+    graphs = scenario.graphs_at(
+        0.0, (ConnectivityMode.BP_ONLY, ConnectivityMode.HYBRID)
+    )
+    for mode, graph in graphs.items():
         routing = route_traffic(graph, scenario.pairs, k=k)
         clear = evaluate_throughput(
             graph, scenario.pairs, k=k, routing=routing

@@ -31,8 +31,10 @@ def throughput_matrix(
     """Aggregate throughput for every (mode, k) combination, Gbps."""
     capacities = capacities or LinkCapacities()
     results = {}
-    for mode in (ConnectivityMode.BP_ONLY, ConnectivityMode.HYBRID):
-        graph = scenario.graph_at(time_s, mode)
+    graphs = scenario.graphs_at(
+        time_s, (ConnectivityMode.BP_ONLY, ConnectivityMode.HYBRID)
+    )
+    for mode, graph in graphs.items():
         for k in ks:
             outcome = evaluate_throughput(graph, scenario.pairs, k=k, capacities=capacities)
             results[(mode.value, k)] = outcome.aggregate_gbps

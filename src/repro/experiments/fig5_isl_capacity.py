@@ -34,11 +34,15 @@ def run(scale: ScenarioScale | None = None, k: int = 4) -> ExperimentResult:
     scenario = Scenario.paper_default("starlink", scale)
     base_caps = LinkCapacities()
 
-    bp_graph = scenario.graph_at(0.0, ConnectivityMode.BP_ONLY)
+    # Both modes from one shared geometry frame.
+    graphs = scenario.graphs_at(
+        0.0, (ConnectivityMode.BP_ONLY, ConnectivityMode.HYBRID)
+    )
+    bp_graph = graphs[ConnectivityMode.BP_ONLY]
     bp_result = evaluate_throughput(bp_graph, scenario.pairs, k=k, capacities=base_caps)
     bp_gbps = bp_result.aggregate_gbps
 
-    hybrid_graph = scenario.graph_at(0.0, ConnectivityMode.HYBRID)
+    hybrid_graph = graphs[ConnectivityMode.HYBRID]
     # Routing is capacity-independent: route once, re-allocate per ratio.
     from repro.flows.routing import route_traffic
 

@@ -41,6 +41,7 @@ __all__ = [
     "ConnectivityMode",
     "GsoProtectionPolicy",
     "SnapshotGraph",
+    "beam_limited_edge_mask",
     "build_snapshot_graph",
     "isl_grazing_altitude_m",
     "gso_compliant_edge_mask",
@@ -306,6 +307,35 @@ def gso_compliant_edge_mask(
     return compliant
 
 
+def beam_limited_edge_mask(
+    edge_sat_index: np.ndarray,
+    edge_dist_m: np.ndarray,
+    max_gts_per_satellite: int,
+) -> np.ndarray:
+    """Which GT-satellite edges survive a per-satellite beam limit.
+
+    Per satellite, the ``max_gts_per_satellite`` closest GTs (slant
+    distance) are kept. Stable lexsort by (satellite, distance), then
+    rank within satellite. Callers must apply any compliance filters
+    (GSO arc avoidance) *before* this ranking: a dropped edge must not
+    consume a beam.
+    """
+    if max_gts_per_satellite < 1:
+        raise ValueError("max_gts_per_satellite must be >= 1")
+    order = np.lexsort((edge_dist_m, edge_sat_index))
+    sorted_sats = edge_sat_index[order]
+    # Rank of each entry within its satellite group.
+    group_start = np.concatenate([[0], np.nonzero(np.diff(sorted_sats))[0] + 1])
+    ranks = np.arange(len(order))
+    ranks = ranks - np.repeat(
+        group_start, np.diff(np.concatenate([group_start, [len(order)]]))
+    )
+    keep_sorted = ranks < max_gts_per_satellite
+    keep = np.zeros(len(edge_sat_index), dtype=bool)
+    keep[order[keep_sorted]] = True
+    return keep
+
+
 @traced("graph_build")
 def build_snapshot_graph(
     constellation: Constellation,
@@ -316,7 +346,14 @@ def build_snapshot_graph(
     fiber_max_km: float | None = None,
     max_gts_per_satellite: int | None = None,
 ) -> SnapshotGraph:
-    """Build the network graph for one snapshot.
+    """Build the network graph for one snapshot, monolithically.
+
+    This is the single-shot reference path: every call recomputes all
+    geometry from scratch. Repeated builds (time series, multi-mode
+    comparisons) should go through the layered
+    :class:`repro.core.engine.SnapshotEngine`, which caches the
+    time-invariant and mode-invariant stages and produces numerically
+    identical graphs.
 
     GT-satellite visibility uses the spherical coverage-cone condition:
     a GT may use a satellite when the central angle between the GT and
@@ -386,23 +423,9 @@ def build_snapshot_graph(
         ) if len(gt_sat_edges) else np.empty(0)
 
         if max_gts_per_satellite is not None and len(gt_sat_edges):
-            if max_gts_per_satellite < 1:
-                raise ValueError("max_gts_per_satellite must be >= 1")
-            # Per satellite, keep the N closest GTs (slant distance). Stable
-            # lexsort by (satellite, distance), then rank within satellite.
-            order = np.lexsort((gt_sat_dists, gt_sat_edges[:, 0]))
-            sorted_sats = gt_sat_edges[order, 0]
-            # Rank of each entry within its satellite group.
-            group_start = np.concatenate(
-                [[0], np.nonzero(np.diff(sorted_sats))[0] + 1]
+            keep = beam_limited_edge_mask(
+                gt_sat_edges[:, 0], gt_sat_dists, max_gts_per_satellite
             )
-            ranks = np.arange(len(order))
-            ranks = ranks - np.repeat(
-                group_start, np.diff(np.concatenate([group_start, [len(order)]]))
-            )
-            keep_sorted = ranks < max_gts_per_satellite
-            keep = np.zeros(len(gt_sat_edges), dtype=bool)
-            keep[order[keep_sorted]] = True
             gt_sat_edges = gt_sat_edges[keep]
             gt_sat_dists = gt_sat_dists[keep]
 

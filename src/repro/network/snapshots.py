@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.constants import NUM_SNAPSHOTS_PER_DAY, SNAPSHOT_INTERVAL_S
 from repro.ground.stations import GroundSegment
-from repro.network.graph import ConnectivityMode, SnapshotGraph, build_snapshot_graph
+from repro.network.graph import ConnectivityMode, SnapshotGraph
 from repro.orbits.constellation import Constellation
 
 __all__ = ["SnapshotSeries", "snapshot_times"]
@@ -35,7 +35,14 @@ def snapshot_times(
 
 @dataclass(frozen=True)
 class SnapshotSeries:
-    """Lazy sequence of snapshot graphs for a scenario."""
+    """Lazy sequence of snapshot graphs for a scenario.
+
+    Backed by a lazily created :class:`repro.core.engine.SnapshotEngine`
+    so the static layer (station ECEF, KD-tree, ISL topology) is built
+    once for the whole series, and repeated requests for the same
+    instant — e.g. two series over the same constellation and ground
+    differing only in mode — reuse cached geometry frames.
+    """
 
     constellation: Constellation
     ground: GroundSegment
@@ -45,12 +52,24 @@ class SnapshotSeries:
     def __len__(self) -> int:
         return len(self.times_s)
 
+    @property
+    def engine(self):
+        """The series' snapshot engine (created on first use).
+
+        Imported lazily: ``repro.core`` imports this module while
+        initializing, so a module-level import would be circular.
+        """
+        engine = self.__dict__.get("_engine")
+        if engine is None:
+            from repro.core.engine import SnapshotEngine
+
+            engine = SnapshotEngine(self.constellation, self.ground)
+            object.__setattr__(self, "_engine", engine)
+        return engine
+
     def graph_at(self, time_s: float) -> SnapshotGraph:
-        """Build the graph for an arbitrary time (not cached)."""
-        stations = self.ground.stations_at(time_s)
-        return build_snapshot_graph(
-            self.constellation, stations, time_s, self.mode
-        )
+        """The graph for an arbitrary time (geometry frame cached)."""
+        return self.engine.graph_at(float(time_s), self.mode)
 
     def __iter__(self) -> Iterator[SnapshotGraph]:
         for time_s in self.times_s:

@@ -112,6 +112,22 @@ BENCH_SCHEMA = {
                     "source": {"type": "string"},
                     "spans": _SPANS_SCHEMA,
                     "counters": _COUNTERS_SCHEMA,
+                    # Snapshot-engine cache behaviour: frame/static
+                    # hit-miss counts plus the derived hit rate.
+                    "engine_cache": {
+                        "type": "object",
+                        "required": ["frame_hits", "frame_misses", "frame_hit_rate"],
+                        "properties": {
+                            "frame_hits": {"type": "number", "minimum": 0},
+                            "frame_misses": {"type": "number", "minimum": 0},
+                            "frame_hit_rate": {"type": "number", "minimum": 0},
+                            "static_hits": {"type": "number", "minimum": 0},
+                            "static_misses": {"type": "number", "minimum": 0},
+                        },
+                    },
+                    # Aggregate of every graph_build span in the entry
+                    # (same shape as one span-tree node).
+                    "graph_build": _SPAN_STATS_SCHEMA,
                 },
             },
         },

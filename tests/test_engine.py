@@ -1,0 +1,411 @@
+"""Tests for the layered snapshot engine (static / per-time / assembly).
+
+The engine's contract has three load-bearing pieces, each pinned here:
+
+* **numerical equivalence** — graphs assembled through the cached
+  layers are bit-identical to the monolithic
+  :func:`repro.network.graph.build_snapshot_graph` reference for every
+  mode/policy/fault combination;
+* **work sharing** — a two-mode sweep pays for satellite propagation
+  and KD-tree visibility queries exactly once per snapshot (verified
+  through obs counters and a propagation call count);
+* **fault isolation** — fault injection acts strictly in the assembly
+  layer, so an ambient :class:`~repro.faults.FaultSpec` can neither
+  leak into a cached geometry frame nor back out of one.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    DEFAULT_FRAME_CACHE_SIZE,
+    EngineCacheStats,
+    SnapshotEngine,
+)
+from repro.core.pipeline import compute_rtt_series_multi
+from repro.core.scenario import Scenario, ScenarioScale
+from repro.faults import FaultSpec, apply_faults, fault_injection
+from repro.network.graph import (
+    ConnectivityMode,
+    GsoProtectionPolicy,
+    beam_limited_edge_mask,
+    build_snapshot_graph,
+    gso_compliant_edge_mask,
+)
+from repro.obs import MetricsRegistry, observe
+
+#: Small enough for seconds-scale tests, big enough that every filter
+#: (GSO arc, beam limit, fiber, faults) has edges to act on.
+ENGINE_SCALE = ScenarioScale(
+    name="engine-tiny",
+    num_cities=40,
+    num_pairs=10,
+    relay_spacing_deg=4.0,
+    num_snapshots=2,
+    snapshot_interval_s=900.0,
+)
+
+
+def fresh_scenario() -> Scenario:
+    """A scenario with a cold engine (no shared session-fixture caches)."""
+    return Scenario.paper_default("starlink", ENGINE_SCALE)
+
+
+@pytest.fixture(scope="module")
+def base_scenario() -> Scenario:
+    """Module-shared scenario for read-only equivalence checks."""
+    return fresh_scenario()
+
+
+def legacy_graph(scenario: Scenario, time_s: float, mode: ConnectivityMode):
+    """The pre-refactor reference: monolithic build, then faults."""
+    graph = build_snapshot_graph(
+        scenario.constellation,
+        scenario.ground.stations_at(time_s),
+        time_s,
+        mode,
+        gso_policy=scenario.gso_policy,
+        fiber_max_km=scenario.fiber_max_km,
+        max_gts_per_satellite=scenario.max_gts_per_satellite,
+    )
+    return apply_faults(graph, scenario.faults)
+
+
+def assert_graphs_identical(got, want):
+    """Bit-for-bit equality of everything routing consumes."""
+    assert got.num_sats == want.num_sats
+    assert got.num_gts == want.num_gts
+    assert got.mode is want.mode
+    np.testing.assert_array_equal(got.edges, want.edges)
+    np.testing.assert_array_equal(got.edge_dist_m, want.edge_dist_m)
+    np.testing.assert_array_equal(got.edge_kind, want.edge_kind)
+    np.testing.assert_array_equal(got.sat_ecef, want.sat_ecef)
+    np.testing.assert_array_equal(got.gt_ecef, want.gt_ecef)
+
+
+#: (config name, assembly overrides, mode) — the acceptance matrix: BP,
+#: hybrid, ISL-only, GSO policy, beam limit, fiber, faults, and all of
+#: them at once.
+EQUIVALENCE_CONFIGS = [
+    ("bp", {}, ConnectivityMode.BP_ONLY),
+    ("hybrid", {}, ConnectivityMode.HYBRID),
+    ("isl_only", {}, ConnectivityMode.ISL_ONLY),
+    (
+        "gso",
+        {"gso_policy": GsoProtectionPolicy(min_separation_deg=20.0)},
+        ConnectivityMode.HYBRID,
+    ),
+    ("beam", {"max_gts_per_satellite": 4}, ConnectivityMode.BP_ONLY),
+    ("fiber", {"fiber_max_km": 1500.0}, ConnectivityMode.HYBRID),
+    (
+        "faulted",
+        {"faults": FaultSpec(sat=0.1, relay=0.2, seed=3)},
+        ConnectivityMode.HYBRID,
+    ),
+    (
+        "combined",
+        {
+            "gso_policy": GsoProtectionPolicy(min_separation_deg=20.0),
+            "max_gts_per_satellite": 4,
+            "fiber_max_km": 1500.0,
+            "faults": FaultSpec(sat=0.05, city=0.1, seed=11),
+        },
+        ConnectivityMode.HYBRID,
+    ),
+]
+
+
+class TestNumericalEquivalence:
+    """Engine output == monolithic builder output, for every config."""
+
+    @pytest.mark.parametrize(
+        "overrides,mode",
+        [c[1:] for c in EQUIVALENCE_CONFIGS],
+        ids=[c[0] for c in EQUIVALENCE_CONFIGS],
+    )
+    def test_matches_monolithic_builder(self, base_scenario, overrides, mode):
+        scenario = base_scenario.with_assembly(**overrides)
+        for time_s in scenario.times_s:
+            got = scenario.graph_at(float(time_s), mode)
+            want = legacy_graph(scenario, float(time_s), mode)
+            assert_graphs_identical(got, want)
+
+    def test_graphs_at_share_one_frame(self, base_scenario):
+        graphs = base_scenario.graphs_at(
+            0.0, (ConnectivityMode.BP_ONLY, ConnectivityMode.HYBRID)
+        )
+        bp = graphs[ConnectivityMode.BP_ONLY]
+        hybrid = graphs[ConnectivityMode.HYBRID]
+        # Same frame, not merely equal geometry: the arrays are shared.
+        assert bp.sat_ecef is hybrid.sat_ecef
+        assert bp.gt_ecef is hybrid.gt_ecef
+        assert_graphs_identical(
+            bp, legacy_graph(base_scenario, 0.0, ConnectivityMode.BP_ONLY)
+        )
+        assert_graphs_identical(
+            hybrid, legacy_graph(base_scenario, 0.0, ConnectivityMode.HYBRID)
+        )
+
+
+class TestTwoModeSweepSharesWork:
+    """Acceptance: propagation and KD-tree queries once per snapshot."""
+
+    def test_propagation_and_kdtree_once_per_snapshot(self, monkeypatch):
+        scenario = fresh_scenario()
+        constellation_cls = type(scenario.constellation)
+        original = constellation_cls.positions_ecef
+        propagations: list[float] = []
+
+        def counting(self, time_s, _original=original):
+            propagations.append(float(time_s))
+            return _original(self, time_s)
+
+        monkeypatch.setattr(constellation_cls, "positions_ecef", counting)
+
+        registry = MetricsRegistry()
+        with observe(registry):
+            series = compute_rtt_series_multi(
+                scenario, [ConnectivityMode.BP_ONLY, ConnectivityMode.HYBRID]
+            )
+
+        num_snapshots = len(scenario.times_s)
+        # Propagation ran once per snapshot — not once per (snapshot, mode).
+        assert sorted(propagations) == sorted(float(t) for t in scenario.times_s)
+
+        payload = registry.snapshot()
+        counters = payload["counters"]
+        assert counters["engine.frame_misses"] == num_snapshots
+        assert counters["engine.frame_hits"] == num_snapshots
+        assert counters["engine.assemblies"] == 2 * num_snapshots
+
+        spans = payload["spans"]
+        # KD-tree visibility queries happen only inside frame builds.
+        kdtree = spans["snapshot/graph_build/frame_build/kdtree_query"]
+        assert kdtree["count"] == num_snapshots
+        assert spans["snapshot/graph_build/frame_build"]["count"] == num_snapshots
+        assert spans["snapshot/graph_build"]["count"] == 2 * num_snapshots
+
+        for mode in (ConnectivityMode.BP_ONLY, ConnectivityMode.HYBRID):
+            assert series[mode].rtt_ms.shape == (
+                len(scenario.pairs),
+                num_snapshots,
+            )
+
+    def test_engine_stats_mirror_counters(self):
+        scenario = fresh_scenario()
+        scenario.graphs_at(0.0, (ConnectivityMode.BP_ONLY, ConnectivityMode.HYBRID))
+        stats = scenario.engine.stats
+        assert stats.static_builds == 1
+        assert stats.frame_misses == 1
+        assert stats.frame_hits == 1
+        assert stats.assemblies == 2
+        assert stats.frame_hit_rate() == pytest.approx(0.5)
+        as_dict = stats.as_dict()
+        assert as_dict["frame_hit_rate"] == pytest.approx(0.5)
+        assert as_dict["assemblies"] == 2
+
+    def test_fresh_stats_rate_is_zero(self):
+        assert EngineCacheStats().frame_hit_rate() == 0.0
+
+
+class TestFaultIsolation:
+    """Faults act in assembly only; cached frames stay fault-free."""
+
+    SPEC = FaultSpec(sat=0.3, seed=5)
+
+    def test_ambient_faults_do_not_poison_cached_frames(self):
+        scenario = fresh_scenario()
+        with fault_injection(self.SPEC):
+            faulted = scenario.graph_at(0.0, ConnectivityMode.HYBRID)
+        # The frame built under the ambient spec is now cached; graphs
+        # assembled after the context exits must be clean.
+        after = scenario.graph_at(0.0, ConnectivityMode.HYBRID)
+
+        assert scenario.engine.stats.frame_misses == 1
+        assert scenario.engine.stats.frame_hits == 1
+        clean = legacy_graph(scenario, 0.0, ConnectivityMode.HYBRID)
+        assert_graphs_identical(after, clean)
+        assert len(faulted.edges) < len(clean.edges)
+
+    def test_faults_do_not_leak_out_of_clean_frames(self):
+        scenario = fresh_scenario()
+        clean_first = scenario.graph_at(0.0, ConnectivityMode.HYBRID)
+        with fault_injection(self.SPEC):
+            faulted = scenario.graph_at(0.0, ConnectivityMode.HYBRID)
+
+        # Reused the clean-built frame, and still applied the faults.
+        assert scenario.engine.stats.frame_hits == 1
+        want = apply_faults(
+            legacy_graph(scenario, 0.0, ConnectivityMode.HYBRID), self.SPEC
+        )
+        assert_graphs_identical(faulted, want)
+        assert len(faulted.edges) < len(clean_first.edges)
+
+    def test_explicit_faults_beat_ambient_spec(self):
+        scenario = fresh_scenario().with_faults(FaultSpec(sat=0.1, seed=7))
+        with fault_injection(self.SPEC):
+            got = scenario.graph_at(0.0, ConnectivityMode.HYBRID)
+        assert_graphs_identical(got, legacy_graph(scenario, 0.0, ConnectivityMode.HYBRID))
+
+
+class TestGsoBeamOrdering:
+    """The beam limit ranks only GSO-compliant candidate edges."""
+
+    POLICY = GsoProtectionPolicy(min_separation_deg=20.0)
+    BEAM_LIMIT = 4
+
+    def _candidate_masks(self, scenario):
+        frame = scenario.engine.frame_at(0.0)
+        compliant = gso_compliant_edge_mask(
+            frame.stations.lats,
+            frame.stations.lons,
+            frame.gt_ecef,
+            frame.sat_ecef,
+            frame.cand_edges[:, 1] - frame.num_sats,
+            frame.cand_edges[:, 0],
+            self.POLICY,
+        )
+        return frame, compliant
+
+    def test_beam_limit_applies_after_gso_drop(self, base_scenario):
+        scenario = base_scenario.with_assembly(
+            gso_policy=self.POLICY, max_gts_per_satellite=self.BEAM_LIMIT
+        )
+        graph = scenario.graph_at(0.0, ConnectivityMode.BP_ONLY)
+        got = set(map(tuple, graph.edges[graph.edge_kind == 0]))
+
+        frame, compliant = self._candidate_masks(scenario)
+        edges = frame.cand_edges[compliant]
+        dists = frame.cand_dist_m[compliant]
+        keep = beam_limited_edge_mask(edges[:, 0], dists, self.BEAM_LIMIT)
+        correct_order = set(map(tuple, edges[keep]))
+        assert got == correct_order
+
+        # The reverse composition (beam limit first, GSO drop second)
+        # must actually differ here, otherwise this test proves nothing:
+        # a GSO-forbidden edge must never consume one of the beam slots.
+        wrong_keep = beam_limited_edge_mask(
+            frame.cand_edges[:, 0], frame.cand_dist_m, self.BEAM_LIMIT
+        )
+        wrong_edges = frame.cand_edges[wrong_keep]
+        wrong_compliant = gso_compliant_edge_mask(
+            frame.stations.lats,
+            frame.stations.lons,
+            frame.gt_ecef,
+            frame.sat_ecef,
+            wrong_edges[:, 1] - frame.num_sats,
+            wrong_edges[:, 0],
+            self.POLICY,
+        )
+        wrong_order = set(map(tuple, wrong_edges[wrong_compliant]))
+        assert wrong_order != correct_order
+        assert len(wrong_order) < len(correct_order)
+
+    def test_beam_slots_filled_by_closest_compliant_gts(self, base_scenario):
+        scenario = base_scenario.with_assembly(
+            gso_policy=self.POLICY, max_gts_per_satellite=self.BEAM_LIMIT
+        )
+        graph = scenario.graph_at(0.0, ConnectivityMode.BP_ONLY)
+        frame, compliant = self._candidate_masks(scenario)
+        edges = frame.cand_edges[compliant]
+        dists = frame.cand_dist_m[compliant]
+
+        kept = graph.edges[graph.edge_kind == 0]
+        kept_dists = graph.edge_dist_m[graph.edge_kind == 0]
+        for sat in np.unique(kept[:, 0]):
+            sat_kept = kept_dists[kept[:, 0] == sat]
+            assert len(sat_kept) <= self.BEAM_LIMIT
+            # Each satellite's slots hold its closest compliant GTs.
+            candidates = np.sort(dists[edges[:, 0] == sat])
+            np.testing.assert_array_equal(
+                np.sort(sat_kept), candidates[: len(sat_kept)]
+            )
+
+
+class TestWithAssembly:
+    """Assembly-only variants share the engine; others don't."""
+
+    def test_variant_shares_engine_and_derived_state(self):
+        scenario = fresh_scenario()
+        scenario.graph_at(0.0, ConnectivityMode.BP_ONLY)
+        scenario.pairs  # materialize so the variant can share it
+        variant = scenario.with_assembly(
+            gso_policy=GsoProtectionPolicy(min_separation_deg=10.0)
+        )
+        assert variant.engine is scenario.engine
+        assert variant.ground is scenario.ground
+        assert variant.pairs is scenario.pairs
+        variant.graph_at(0.0, ConnectivityMode.BP_ONLY)
+        # The variant's build hit the shared frame cache.
+        assert scenario.engine.stats.frame_hits == 1
+
+    def test_with_faults_shares_engine(self):
+        scenario = fresh_scenario()
+        variant = scenario.with_faults(FaultSpec(sat=0.2, seed=1))
+        assert variant.engine is scenario.engine
+
+    def test_unknown_field_rejected(self, base_scenario):
+        with pytest.raises(TypeError, match="assembly-layer"):
+            base_scenario.with_assembly(traffic_seed=7)
+
+    def test_non_assembly_change_gets_fresh_engine(self, base_scenario):
+        from dataclasses import replace
+
+        other = replace(base_scenario, traffic_seed=99)
+        assert other.engine is not base_scenario.engine
+
+
+class TestEnginePickling:
+    """Scenarios pickle without their engine; workers rebuild locally."""
+
+    def test_engine_dropped_and_rebuilt(self):
+        scenario = fresh_scenario()
+        want = scenario.graph_at(0.0, ConnectivityMode.HYBRID)
+        assert "engine" in scenario.__dict__
+        restored = pickle.loads(pickle.dumps(scenario))
+        assert "engine" not in restored.__dict__
+        got = restored.graph_at(0.0, ConnectivityMode.HYBRID)
+        assert_graphs_identical(got, want)
+
+
+class TestFrameCacheLru:
+    """Frame cache: bounded, LRU-ordered, clearable."""
+
+    def test_rejects_non_positive_cache_size(self, base_scenario):
+        with pytest.raises(ValueError, match="frame_cache_size"):
+            SnapshotEngine(
+                base_scenario.constellation,
+                base_scenario.ground,
+                frame_cache_size=0,
+            )
+
+    def test_default_cache_size(self, base_scenario):
+        assert base_scenario.engine.frame_cache_size == DEFAULT_FRAME_CACHE_SIZE
+
+    def test_eviction_drops_least_recently_used(self, base_scenario):
+        engine = SnapshotEngine(
+            base_scenario.constellation, base_scenario.ground, frame_cache_size=2
+        )
+        engine.frame_at(0.0)
+        engine.frame_at(900.0)
+        engine.frame_at(0.0)  # refresh 0.0 so 900.0 is the LRU victim
+        engine.frame_at(1800.0)
+        assert engine.cached_frame_times() == [0.0, 1800.0]
+        assert engine.stats.frame_evictions == 1
+        assert engine.stats.frame_misses == 3
+        assert engine.stats.frame_hits == 1
+
+    def test_clear_empties_frames_but_keeps_static(self, base_scenario):
+        engine = SnapshotEngine(
+            base_scenario.constellation, base_scenario.ground, frame_cache_size=2
+        )
+        engine.frame_at(0.0)
+        static_before = engine.static
+        engine.clear()
+        assert engine.cached_frame_times() == []
+        assert engine.static is static_before
+        assert engine.stats.static_builds == 1

@@ -11,9 +11,10 @@ from repro.core.parallel import (
     SnapshotFailure,
     SweepError,
     compute_rtt_series_parallel,
+    compute_rtt_series_parallel_multi,
     default_worker_count,
 )
-from repro.core.pipeline import compute_rtt_series
+from repro.core.pipeline import compute_rtt_series, compute_rtt_series_multi
 from repro.network.graph import ConnectivityMode
 
 
@@ -45,6 +46,37 @@ class TestParallelRunner:
 
     def test_default_worker_count_positive(self):
         assert default_worker_count() >= 1
+
+
+class TestParallelMultiMode:
+    """Multi-mode sweeps: workers evaluate every mode per snapshot."""
+
+    MODES = [ConnectivityMode.BP_ONLY, ConnectivityMode.HYBRID]
+
+    def test_matches_serial_multi_exactly(self, tiny_scenario):
+        serial = compute_rtt_series_multi(tiny_scenario, self.MODES)
+        parallel = compute_rtt_series_parallel_multi(
+            tiny_scenario, self.MODES, processes=2
+        )
+        assert set(parallel) == set(self.MODES)
+        for mode in self.MODES:
+            np.testing.assert_array_equal(
+                parallel[mode].rtt_ms, serial[mode].rtt_ms
+            )
+            np.testing.assert_array_equal(
+                parallel[mode].times_s, serial[mode].times_s
+            )
+            assert parallel[mode].mode is mode
+
+    def test_single_process_delegates_to_serial(self, tiny_scenario):
+        result = compute_rtt_series_parallel_multi(
+            tiny_scenario, self.MODES, processes=1
+        )
+        for mode in self.MODES:
+            assert result[mode].rtt_ms.shape == (
+                len(tiny_scenario.pairs),
+                len(tiny_scenario.times_s),
+            )
 
 
 # Worker fault hooks: module-level so fork-started workers resolve them.

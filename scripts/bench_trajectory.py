@@ -38,6 +38,7 @@ if str(REPO_ROOT / "src") not in sys.path:
 from repro.core.runner import run_experiments  # noqa: E402
 from repro.core.scenario import ScenarioScale  # noqa: E402
 from repro.obs import BENCH_SCHEMA, METRICS_SCHEMA_VERSION, validate  # noqa: E402
+from repro.obs.schema import SchemaError  # noqa: E402
 
 #: Experiments timed by default: the two headline figures (latency and
 #: throughput) exercise every instrumented layer between them.
@@ -298,8 +299,23 @@ def main(argv: list[str] | None = None) -> int:
     if baseline_path is None:
         print("no previous record to compare against; trajectory starts here")
         return 0
-    baseline = json.loads(Path(baseline_path).read_text())
-    validate(baseline, BENCH_SCHEMA)
+    # A corrupt or empty baseline must not fail the run being measured:
+    # the new record is already written, and "nothing to compare against"
+    # is the first-record case, not an error.
+    try:
+        baseline = json.loads(Path(baseline_path).read_text())
+        validate(baseline, BENCH_SCHEMA)
+    except (OSError, json.JSONDecodeError, SchemaError) as exc:
+        print(
+            f"baseline {baseline_path} is unusable ({exc}); "
+            "skipping comparison"
+        )
+        return 0
+    if not baseline["entries"]:
+        print(
+            f"baseline {baseline_path} has no entries; skipping comparison"
+        )
+        return 0
     if baseline["config"] != record["config"]:
         print(
             f"baseline {baseline_path} used config {baseline['config']}; "

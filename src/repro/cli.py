@@ -18,7 +18,14 @@ Commands
     Dijkstra, allocation, checkpoint I/O, worker retries — see
     ``repro.obs``), prints per-experiment profile tables, and with
     ``--out`` writes a machine-readable ``metrics.json`` next to the
-    results.
+    results. ``--strict`` turns on result invariant guards
+    (``repro.integrity``); ``--fresh`` (with ``--resume``) quarantines
+    a checkpoint directory written by a different configuration and
+    restarts it instead of failing.
+``verify <dir>``
+    Audit an artifact/checkpoint tree: shard digests against manifests,
+    kind-tagged JSON against schemas, archived RTT series against their
+    invariants. Exits non-zero (and names each offender) on violations.
 ``info``
     Print the constellation presets and scale definitions.
 ``scenario``
@@ -112,6 +119,35 @@ def build_parser() -> argparse.ArgumentParser:
             "tables, and (with --out) write metrics.json"
         ),
     )
+    run.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "enable result invariant guards: RTTs checked against the "
+            "speed-of-light floor, allocations against capacities"
+        ),
+    )
+    run.add_argument(
+        "--fresh",
+        action="store_true",
+        help=(
+            "with --resume: quarantine a checkpoint directory that was "
+            "written by a different configuration and restart it, "
+            "instead of failing with CheckpointMismatchError"
+        ),
+    )
+
+    verify = sub.add_parser(
+        "verify", help="audit an artifact/checkpoint tree for corruption"
+    )
+    verify.add_argument(
+        "directory", type=Path, help="artifact or checkpoint tree to audit"
+    )
+    verify.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only violations (suppress the per-file tally)",
+    )
 
     report = sub.add_parser("report", help="run experiments and write a Markdown report")
     report.add_argument("ids", nargs="*", help="experiment ids (default: all)")
@@ -181,6 +217,9 @@ def _cmd_run(args) -> int:
         except ValueError as exc:
             print(f"bad --inject-fault spec: {exc}", file=sys.stderr)
             return 2
+    if args.fresh and args.resume is None:
+        print("--fresh requires --resume DIR", file=sys.stderr)
+        return 2
     scale = _SCALES[args.scale]() if args.scale else None
     try:
         summary = run_experiments(
@@ -191,6 +230,8 @@ def _cmd_run(args) -> int:
             resume_dir=args.resume,
             fault_spec=fault_spec,
             profile=args.profile,
+            strict=args.strict,
+            fresh=args.fresh,
         )
     except UnknownExperimentError as exc:
         print(f"unknown experiments: {', '.join(exc.unknown)}", file=sys.stderr)
@@ -198,7 +239,26 @@ def _cmd_run(args) -> int:
         return 2
     if len(summary.outcomes) > 1 or summary.failures:
         print(summary.format_summary())
+    if any(f.error_type == "CheckpointMismatchError" for f in summary.failures):
+        print(
+            "hint: the --resume directory was written by a different "
+            "configuration; rerun with --fresh to quarantine it and "
+            "restart, or point --resume elsewhere.",
+            file=sys.stderr,
+        )
     return summary.exit_code
+
+
+def _cmd_verify(directory: Path, quiet: bool) -> int:
+    from repro.integrity.verify import verify_tree
+
+    report = verify_tree(directory)
+    if quiet:
+        for violation in report.violations:
+            print(f"FAIL {violation}")
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
 
 
 def _cmd_report(ids, scale_name: str | None, out: Path) -> int:
@@ -244,6 +304,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_info()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "verify":
+        return _cmd_verify(args.directory, args.quiet)
     if args.command == "report":
         return _cmd_report(args.ids or None, args.scale, args.out)
     if args.command == "scenario":

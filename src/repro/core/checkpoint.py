@@ -1,15 +1,25 @@
-"""Checkpoint/resume for long RTT sweeps.
+"""Checkpoint/resume for long RTT sweeps, with content-integrity checks.
 
 Full-scale runs (96 snapshots x 2 modes over a ~65k-node graph) take
 hours; a crash, OOM kill, or Ctrl-C must not lose completed work. This
 module checkpoints per-snapshot RTT rows to disk as they finish:
 
 * each snapshot becomes one atomic ``.npz`` shard (written to a temp
-  file in the target directory, then ``os.replace``-d into place, so a
-  crash mid-write never leaves a truncated artifact);
+  file in the target directory, ``os.replace``-d into place, and the
+  parent directory fsync'd so a crash can neither truncate nor unlink a
+  committed shard);
 * a ``manifest.json`` pins the sweep's shape (mode, snapshot times,
   pair count) so a resume against the wrong configuration fails loudly
-  instead of silently mixing incompatible rows.
+  instead of silently mixing incompatible rows — and records a SHA-256
+  content digest for every committed shard.
+
+Resume *verifies* rather than trusts: :meth:`RttCheckpoint.completed_indices`
+recomputes each shard's digest and validates its payload against the
+manifest; a truncated, bit-flipped, misindexed, or unrecorded shard is
+moved to a ``quarantine/`` subdirectory with a structured reason record
+(see :mod:`repro.integrity.quarantine`) and the snapshot is scheduled
+for recompute — the sweep self-heals instead of crashing or, worse,
+producing poisoned figures.
 
 :func:`repro.core.pipeline.compute_rtt_series` and
 :func:`repro.core.parallel.compute_rtt_series_parallel` both accept a
@@ -18,11 +28,14 @@ context (:func:`checkpoint_root`) lets an orchestrator — ``repro run
 --resume DIR`` — turn checkpointing on for every sweep executed inside
 it without threading a parameter through each experiment: checkpoint
 directories are derived from a scenario fingerprint, so distinct
-configurations never collide under one root.
+configurations never collide under one root. ``repro run --resume DIR
+--fresh`` quarantines a mismatched checkpoint directory and restarts it
+instead of raising.
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import io
 import json
@@ -36,6 +49,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.integrity.digest import digest_bytes, digest_file
+from repro.integrity.quarantine import QUARANTINE_DIRNAME, note, quarantine_file
 from repro.network.graph import ConnectivityMode
 from repro.obs import span
 
@@ -45,6 +60,7 @@ if TYPE_CHECKING:  # circular at runtime: pipeline imports this module lazily
 
 __all__ = [
     "CheckpointMismatchError",
+    "MANIFEST_VERSION",
     "RttCheckpoint",
     "active_checkpoint_for",
     "active_checkpoint_root",
@@ -58,9 +74,32 @@ __all__ = [
 _MANIFEST_NAME = "manifest.json"
 _SHARD_PATTERN = re.compile(r"^snap_(\d{5})\.npz$")
 
+#: Manifest schema version: 2 added per-shard content digests.
+MANIFEST_VERSION = 2
+
 
 class CheckpointMismatchError(ValueError):
     """A checkpoint directory belongs to a different sweep configuration."""
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory's entries so a committed rename survives a crash.
+
+    ``os.replace`` makes the rename atomic, but on POSIX the *directory
+    entry* itself lives in the parent and is not durable until the
+    parent is fsync'd — without this, power loss right after a "committed"
+    shard/manifest rename can silently roll it back.
+    """
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # platform without directory fds (or exotic fs): best effort
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass  # e.g. EINVAL on filesystems that don't support directory fsync
+    finally:
+        os.close(dir_fd)
 
 
 def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
@@ -68,10 +107,32 @@ def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
 
     The temp file lives in the destination directory so the final rename
     never crosses filesystems; readers see either the old content or the
-    new, never a truncated mix.
+    new, never a truncated mix. After the rename the parent directory is
+    fsync'd, so a crash cannot roll back a committed write.
+
+    This is also the chaos-injection point: an armed
+    :class:`repro.faults.IoFaultSpec` makes a matching write fail the way
+    real storage fails (torn write, bit flip, ENOSPC, dropped update).
     """
+    from repro.faults import consume_io_fault, corrupt_bytes
+
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    fault = consume_io_fault(path)
+    if fault == "disk_full":
+        raise OSError(
+            errno.ENOSPC, f"injected disk-full fault writing {path.name}"
+        )
+    if fault == "stale_manifest":
+        return path  # the update never reaches the disk
+    if fault == "torn_write":
+        # A crash on a non-atomic path: truncated bytes land at the
+        # *final* destination, exactly what resume must detect.
+        with open(path, "wb") as handle:
+            handle.write(corrupt_bytes(fault, data))
+        return path
+    if fault == "bit_flip":
+        data = corrupt_bytes(fault, data)
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
     )
@@ -87,6 +148,7 @@ def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
         except OSError:
             pass
         raise
+    _fsync_directory(path.parent)
     return path
 
 
@@ -105,6 +167,15 @@ def scenario_fingerprint(scenario: "Scenario", mode: ConnectivityMode) -> str:
     return hashlib.sha1(key.encode()).hexdigest()[:16]
 
 
+def _config_fingerprint(config: dict) -> str:
+    """Short stable hash of a manifest's sweep configuration."""
+    canonical = json.dumps(
+        {k: config.get(k) for k in ("version", "mode", "num_pairs", "times_s")},
+        sort_keys=True,
+    )
+    return hashlib.sha1(canonical.encode()).hexdigest()[:12]
+
+
 @dataclass
 class RttCheckpoint:
     """Per-snapshot RTT shards plus a validating manifest, in one directory."""
@@ -121,11 +192,15 @@ class RttCheckpoint:
         mode: ConnectivityMode,
         times_s: np.ndarray,
         num_pairs: int,
+        fresh: bool = False,
     ) -> "RttCheckpoint":
         """Open (creating if needed) a checkpoint directory for one sweep.
 
         Raises :class:`CheckpointMismatchError` when the directory's
-        manifest records a different mode, pair count, or snapshot grid.
+        manifest records a different mode, pair count, or snapshot grid;
+        the message carries both configuration fingerprints and the
+        offending manifest path. With ``fresh=True`` a mismatched (or
+        unreadable) checkpoint is quarantined and restarted instead.
         """
         directory = Path(directory)
         times_s = np.asarray(times_s, dtype=float)
@@ -133,28 +208,69 @@ class RttCheckpoint:
             directory=directory, mode=mode, times_s=times_s, num_pairs=int(num_pairs)
         )
         manifest_path = directory / _MANIFEST_NAME
-        expected = {
-            "version": 1,
-            "mode": mode.value,
-            "num_pairs": int(num_pairs),
-            "times_s": [float(t) for t in times_s],
-        }
+        expected = checkpoint._expected_config()
         if manifest_path.exists():
             try:
-                found = json.loads(manifest_path.read_text())
-            except (OSError, json.JSONDecodeError) as exc:
-                raise CheckpointMismatchError(
-                    f"unreadable checkpoint manifest {manifest_path}: {exc}"
-                ) from exc
-            for key, value in expected.items():
-                if found.get(key) != value:
-                    raise CheckpointMismatchError(
-                        f"checkpoint {directory} was written for a different "
-                        f"sweep: {key}={found.get(key)!r}, expected {value!r}"
-                    )
+                checkpoint._check_manifest(manifest_path, expected)
+            except CheckpointMismatchError:
+                if not fresh:
+                    raise
+                quarantine_file(
+                    directory,
+                    "stale checkpoint replaced by --fresh",
+                    expected_fingerprint=_config_fingerprint(expected),
+                )
+                note("stale_checkpoints")
+                checkpoint._write_manifest(expected)
         else:
-            atomic_write_bytes(manifest_path, json.dumps(expected, indent=1).encode())
+            checkpoint._write_manifest(expected)
         return checkpoint
+
+    def _expected_config(self) -> dict:
+        return {
+            "version": MANIFEST_VERSION,
+            "mode": self.mode.value,
+            "num_pairs": int(self.num_pairs),
+            "times_s": [float(t) for t in self.times_s],
+        }
+
+    def _check_manifest(self, manifest_path: Path, expected: dict) -> dict:
+        """Validate the on-disk manifest against this sweep; return it."""
+        try:
+            found = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointMismatchError(
+                f"unreadable checkpoint manifest {manifest_path}: {exc}"
+            ) from exc
+        mismatched = [
+            key for key, value in expected.items() if found.get(key) != value
+        ]
+        if mismatched:
+            details = "; ".join(
+                f"{key}={found.get(key)!r}, expected {expected[key]!r}"
+                for key in mismatched
+            )
+            raise CheckpointMismatchError(
+                f"checkpoint manifest {manifest_path} was written for a "
+                f"different sweep (its fingerprint {_config_fingerprint(found)} "
+                f"!= expected {_config_fingerprint(expected)}): {details}. "
+                "Use a different --resume directory, or pass --fresh to "
+                "quarantine this checkpoint and restart it."
+            )
+        return found
+
+    def _read_manifest(self) -> dict:
+        """The manifest as currently on disk (``{}`` when absent/unreadable)."""
+        try:
+            payload = json.loads((self.directory / _MANIFEST_NAME).read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return payload if isinstance(payload, dict) else {}
+
+    def _write_manifest(self, config: dict) -> None:
+        atomic_write_bytes(
+            self.directory / _MANIFEST_NAME, json.dumps(config, indent=1).encode()
+        )
 
     @property
     def num_snapshots(self) -> int:
@@ -166,21 +282,116 @@ class RttCheckpoint:
             raise IndexError(f"snapshot index {index} out of range")
         return self.directory / f"snap_{index:05d}.npz"
 
-    def completed_indices(self) -> set[int]:
-        """Snapshot indices with a shard on disk (atomic writes: all valid)."""
-        completed = set()
+    def recorded_digests(self) -> dict[str, str]:
+        """Shard-name -> digest map from the manifest (empty when absent)."""
+        digests = self._read_manifest().get("digests", {})
+        return dict(digests) if isinstance(digests, dict) else {}
+
+    def _verify_shard_payload(self, path: Path, index: int) -> None:
+        """Structural validation of one shard; raises ``ValueError``."""
+        with np.load(path, allow_pickle=False) as data:
+            if "rtt_ms" not in data or "time_s" not in data:
+                raise ValueError("missing rtt_ms/time_s arrays")
+            row = np.asarray(data["rtt_ms"])
+            if row.dtype.kind != "f":
+                raise ValueError(f"rtt_ms has dtype {row.dtype}, expected float")
+            if row.shape != (self.num_pairs,):
+                raise ValueError(
+                    f"rtt_ms has shape {row.shape}, expected ({self.num_pairs},)"
+                )
+            time_s = float(data["time_s"])
+        expected_time = float(self.times_s[index])
+        if not np.isclose(time_s, expected_time, rtol=0.0, atol=1e-6):
+            raise ValueError(
+                f"shard records t={time_s:g}s but manifest index {index} "
+                f"is t={expected_time:g}s (manifest/shard disagreement)"
+            )
+
+    def completed_indices(self, verify: bool = True) -> set[int]:
+        """Snapshot indices whose shard on disk passes verification.
+
+        Every candidate shard must carry the digest the manifest
+        recorded for it and hold a structurally valid payload for its
+        index. Shards failing any check — truncated, bit-flipped,
+        unrecorded (a manifest update that never landed), misindexed, or
+        out of range — are quarantined with a structured reason and
+        *excluded*, so the caller recomputes them. ``verify=False``
+        skips content checks (listing only).
+        """
+        completed: set[int] = set()
         if not self.directory.is_dir():
             return completed
-        for entry in os.listdir(self.directory):
+        digests = self.recorded_digests() if verify else {}
+        pruned = dict(digests)
+        for entry in sorted(os.listdir(self.directory)):
             match = _SHARD_PATTERN.match(entry)
-            if match:
-                index = int(match.group(1))
+            if not match:
+                continue
+            index = int(match.group(1))
+            if not verify:
                 if index < self.num_snapshots:
                     completed.add(index)
+                continue
+            path = self.directory / entry
+            reason = self._shard_problem(path, entry, index, digests)
+            if reason is None:
+                completed.add(index)
+                note("shards_verified")
+            else:
+                quarantine_file(path, reason, index=index)
+                pruned.pop(entry, None)
+        if verify:
+            # Drop digest entries whose shard is gone (quarantined above,
+            # or lost): recompute overwrites them, and a pruned manifest
+            # keeps `repro verify` and resume in agreement.
+            live = {
+                name: digest
+                for name, digest in pruned.items()
+                if (self.directory / name).exists()
+            }
+            if live != digests:
+                config = self._read_manifest() or self._expected_config()
+                config["digests"] = live
+                try:
+                    self._write_manifest(config)
+                except OSError:
+                    note("store_errors")
         return completed
 
+    def _shard_problem(
+        self, path: Path, entry: str, index: int, digests: dict[str, str]
+    ) -> str | None:
+        """Why a shard is unusable, or ``None`` when it verifies clean."""
+        if index >= self.num_snapshots:
+            return (
+                f"shard index {index} out of range for a "
+                f"{self.num_snapshots}-snapshot sweep"
+            )
+        recorded = digests.get(entry)
+        if recorded is None:
+            return (
+                "shard has no digest in the manifest (stale manifest or "
+                "interrupted commit)"
+            )
+        try:
+            actual = digest_file(path)
+        except OSError as exc:
+            return f"shard unreadable: {exc}"
+        if actual != recorded:
+            return f"digest mismatch: manifest={recorded}, disk={actual}"
+        try:
+            self._verify_shard_payload(path, index)
+        except (ValueError, OSError, KeyError) as exc:
+            return f"malformed shard payload: {exc}"
+        return None
+
     def store_snapshot(self, index: int, rtts_ms: np.ndarray) -> Path:
-        """Atomically persist one snapshot's RTT row (shape ``(num_pairs,)``)."""
+        """Atomically persist one snapshot's RTT row (shape ``(num_pairs,)``).
+
+        The shard is committed first, then its content digest is recorded
+        in the manifest; a crash between the two leaves an *unrecorded*
+        shard, which resume quarantines and recomputes — never trusts.
+        """
         rtts_ms = np.asarray(rtts_ms, dtype=float)
         if rtts_ms.shape != (self.num_pairs,):
             raise ValueError(
@@ -192,7 +403,16 @@ class RttCheckpoint:
             np.savez_compressed(
                 buffer, rtt_ms=rtts_ms, time_s=np.float64(self.times_s[index])
             )
-            return atomic_write_bytes(self.shard_path(index), buffer.getvalue())
+            data = buffer.getvalue()
+            path = atomic_write_bytes(self.shard_path(index), data)
+            config = self._read_manifest() or self._expected_config()
+            digests = config.get("digests")
+            if not isinstance(digests, dict):
+                digests = {}
+            digests[path.name] = digest_bytes(data)
+            config["digests"] = digests
+            self._write_manifest(config)
+            return path
 
     def load_snapshot(self, index: int) -> np.ndarray:
         """Load one checkpointed snapshot row."""
@@ -207,11 +427,11 @@ class RttCheckpoint:
         return row
 
     def load_completed(self) -> dict[int, np.ndarray]:
-        """All checkpointed rows, keyed by snapshot index."""
+        """All verified checkpointed rows, keyed by snapshot index."""
         return {index: self.load_snapshot(index) for index in self.completed_indices()}
 
     def is_complete(self) -> bool:
-        """True once every snapshot has a checkpointed shard."""
+        """True once every snapshot has a verified checkpointed shard."""
         return len(self.completed_indices()) == self.num_snapshots
 
     def assemble(self) -> "RttSeries":
@@ -238,13 +458,21 @@ class RttCheckpoint:
 # plus per-scenario fingerprinted subdirectories gives exactly that.
 
 _ACTIVE_ROOT: Path | None = None
+_ACTIVE_FRESH: bool = False
 
 
-def set_checkpoint_root(root: str | Path | None) -> Path | None:
-    """Set the ambient checkpoint root; returns the previous value."""
-    global _ACTIVE_ROOT
+def set_checkpoint_root(
+    root: str | Path | None, fresh: bool = False
+) -> Path | None:
+    """Set the ambient checkpoint root; returns the previous root.
+
+    ``fresh`` makes sweeps inside quarantine-and-restart mismatched
+    checkpoint directories instead of raising (``repro run --fresh``).
+    """
+    global _ACTIVE_ROOT, _ACTIVE_FRESH
     previous = _ACTIVE_ROOT
     _ACTIVE_ROOT = None if root is None else Path(root)
+    _ACTIVE_FRESH = bool(fresh) and root is not None
     return previous
 
 
@@ -254,17 +482,21 @@ def active_checkpoint_root() -> Path | None:
 
 
 @contextmanager
-def checkpoint_root(root: str | Path | None):
+def checkpoint_root(root: str | Path | None, fresh: bool = False):
     """Context manager: all RTT sweeps inside checkpoint under ``root``."""
-    previous = set_checkpoint_root(root)
+    previous_root, previous_fresh = _ACTIVE_ROOT, _ACTIVE_FRESH
+    set_checkpoint_root(root, fresh=fresh)
     try:
         yield None if root is None else Path(root)
     finally:
-        set_checkpoint_root(previous)
+        set_checkpoint_root(previous_root, fresh=previous_fresh)
 
 
 def checkpoint_for(
-    root: str | Path, scenario: "Scenario", mode: ConnectivityMode
+    root: str | Path,
+    scenario: "Scenario",
+    mode: ConnectivityMode,
+    fresh: bool = False,
 ) -> RttCheckpoint:
     """The checkpoint for one (scenario, mode) sweep under ``root``."""
     directory = Path(root) / f"{mode.value}-{scenario_fingerprint(scenario, mode)}"
@@ -273,6 +505,7 @@ def checkpoint_for(
         mode=mode,
         times_s=scenario.times_s,
         num_pairs=len(scenario.pairs),
+        fresh=fresh,
     )
 
 
@@ -282,4 +515,4 @@ def active_checkpoint_for(
     """Checkpoint under the ambient root, or ``None`` when none is set."""
     if _ACTIVE_ROOT is None:
         return None
-    return checkpoint_for(_ACTIVE_ROOT, scenario, mode)
+    return checkpoint_for(_ACTIVE_ROOT, scenario, mode, fresh=_ACTIVE_FRESH)

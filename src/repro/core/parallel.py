@@ -43,6 +43,8 @@ from repro import obs
 from repro.core.checkpoint import RttCheckpoint, active_checkpoint_for
 from repro.core.pipeline import RttSeries, _pair_rtts_on_graph
 from repro.core.scenario import Scenario
+from repro.integrity.guards import check_rtt_series, strict_enabled
+from repro.integrity.quarantine import note
 from repro.network.graph import ConnectivityMode
 
 __all__ = [
@@ -233,7 +235,7 @@ def compute_rtt_series_parallel_multi(
     ]
 
     def finish() -> dict[ConnectivityMode, RttSeries]:
-        return {
+        series = {
             mode: RttSeries(
                 mode=mode,
                 times_s=times,
@@ -241,6 +243,12 @@ def compute_rtt_series_parallel_multi(
             )
             for mode in modes
         }
+        if strict_enabled():
+            for mode in modes:
+                check_rtt_series(
+                    series[mode], scenario.pairs, source=f"rtt[{mode.value}]"
+                )
+        return series
 
     if not pending:
         return finish()
@@ -279,7 +287,12 @@ def compute_rtt_series_parallel_multi(
             rows[mode][index] = mode_rows[mode]
             checkpoint = resolved[mode]
             if checkpoint is not None:
-                checkpoint.store_snapshot(index, mode_rows[mode])
+                try:
+                    checkpoint.store_snapshot(index, mode_rows[mode])
+                except OSError:
+                    # Disk full: keep the in-memory row, skip the shard,
+                    # surface the degradation via the integrity counters.
+                    note("store_errors")
         if progress is not None:
             progress(done_count(), total)
 

@@ -104,6 +104,8 @@ def compute_rtt_series_multi(
     when one is active.
     """
     from repro.core.checkpoint import active_checkpoint_for
+    from repro.integrity.guards import check_graph, check_rtt_series, strict_enabled
+    from repro.integrity.quarantine import note
 
     modes = list(modes)
     resolved = dict(checkpoints or {})
@@ -132,15 +134,27 @@ def compute_rtt_series_multi(
                     incr("checkpoint.misses")
                 with span("snapshot"):
                     graph = scenario.graph_at(float(time_s), mode)
+                    if strict_enabled():
+                        check_graph(graph, source=f"graph[t={float(time_s):g}s]")
                     rtt[mode][:, i] = _pair_rtts_on_graph(graph, pairs)
                 if checkpoint is not None:
-                    checkpoint.store_snapshot(i, rtt[mode][:, i])
+                    try:
+                        checkpoint.store_snapshot(i, rtt[mode][:, i])
+                    except OSError:
+                        # Disk full (or gone): the sweep's numbers are
+                        # unaffected — continue uncheckpointed and let
+                        # the run summary surface the degradation.
+                        note("store_errors")
         if progress is not None:
             progress(i + 1, len(times))
-    return {
+    series = {
         mode: RttSeries(mode=mode, times_s=times, rtt_ms=rtt[mode])
         for mode in modes
     }
+    if strict_enabled():
+        for mode in modes:
+            check_rtt_series(series[mode], pairs, source=f"rtt[{mode.value}]")
+    return series
 
 
 def compute_rtt_series(

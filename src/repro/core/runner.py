@@ -100,6 +100,9 @@ _BASELINE_COUNTERS = (
     "engine.static_misses",
     "engine.frame_hits",
     "engine.frame_misses",
+    "integrity.quarantined",
+    "integrity.shards_verified",
+    "integrity.store_errors",
 )
 
 
@@ -111,6 +114,9 @@ class RunSummary:
     wall_clock_s: float = 0.0
     #: Per-experiment observability payloads (populated by ``profile=True``).
     metrics_by_experiment: dict[str, dict] = field(default_factory=dict)
+    #: Integrity counter deltas accumulated over the batch (quarantined
+    #: shards, verified shards, suppressed store errors, ...).
+    integrity: dict[str, int] = field(default_factory=dict)
 
     @property
     def succeeded(self) -> list[ExperimentOutcome]:
@@ -138,6 +144,15 @@ class RunSummary:
                 f"  {outcome.experiment_id:<24s} {status:<6s} "
                 f"{outcome.duration_s:8.1f}s  {detail}".rstrip()
             )
+        interesting = {
+            name: count
+            for name, count in sorted(self.integrity.items())
+            if count and name != "shards_verified"
+        }
+        if interesting:
+            detail = ", ".join(f"{n}={c}" for n, c in interesting.items())
+            lines.append(f"Integrity: {detail} (corrupt shards were quarantined")
+            lines[-1] += " and recomputed; see the checkpoint's quarantine/ dir)"
         if self.failures:
             lines.append("Failures:")
             for failure in self.failures:
@@ -155,6 +170,8 @@ def run_experiments(
     resume_dir: str | Path | None = None,
     fault_spec=None,
     profile: bool = False,
+    strict: bool = False,
+    fresh: bool = False,
     echo: Callable[[str], None] = print,
 ) -> RunSummary:
     """Run a batch of experiments, surviving individual failures.
@@ -167,13 +184,18 @@ def run_experiments(
     ``fault_spec`` activate the ambient checkpoint/fault contexts for
     the whole batch. ``profile`` collects per-experiment spans/counters
     (see module docstring), echoes the profile tables, and — with
-    ``out_dir`` — writes ``metrics.json``. Raises
+    ``out_dir`` — writes ``metrics.json``. ``strict`` turns on result
+    invariant guards (:mod:`repro.integrity.guards`) for the batch;
+    ``fresh`` makes mismatched checkpoint directories get quarantined
+    and restarted instead of failing the experiment. Raises
     :class:`UnknownExperimentError` before running anything when an id
     is unknown.
     """
     from repro import obs
     from repro.core.checkpoint import atomic_write_bytes, checkpoint_root
     from repro.faults import fault_injection
+    from repro.integrity.guards import strict_checks
+    from repro.integrity.quarantine import integrity_counters
     from repro.persistence import save_experiment_result
 
     if experiments is None:
@@ -191,11 +213,14 @@ def run_experiments(
 
     summary = RunSummary()
     batch_started = time.perf_counter()
+    integrity_before = integrity_counters()
     with ExitStack() as stack:
         if resume_dir is not None:
-            stack.enter_context(checkpoint_root(resume_dir))
+            stack.enter_context(checkpoint_root(resume_dir, fresh=fresh))
         if fault_spec is not None:
             stack.enter_context(fault_injection(fault_spec))
+        if strict:
+            stack.enter_context(strict_checks())
         for eid in selected:
             started = time.perf_counter()
             cpu_started = time.process_time()
@@ -251,6 +276,12 @@ def run_experiments(
                     (out_dir / f"{eid}.txt").write_text(result.render() + "\n")
                     save_experiment_result(result, out_dir / f"{eid}.json")
     summary.wall_clock_s = time.perf_counter() - batch_started
+    integrity_after = integrity_counters()
+    summary.integrity = {
+        name: integrity_after[name] - integrity_before.get(name, 0)
+        for name in integrity_after
+        if integrity_after[name] != integrity_before.get(name, 0)
+    }
     if profile:
         echo(obs.format_profile_report(summary.metrics_by_experiment))
         if out_dir is not None:

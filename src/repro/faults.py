@@ -1,4 +1,5 @@
-"""Deterministic fault injection: seeded removal of network components.
+"""Deterministic fault injection: seeded removal of network components,
+plus an injectable I/O fault layer for chaos-testing persistence.
 
 The paper's Section 5 counts satellites that are *naturally* useless
 (disconnected over oceans); this module asks the complementary
@@ -18,12 +19,23 @@ only because the airborne population itself changes.
 Faults attach to a scenario (``Scenario.with_faults``) or ambiently to
 a whole batch via :func:`fault_injection` — this is how ``repro run
 --inject-fault sat:0.05`` reaches every experiment in a sweep.
+
+The second half of the module injects *storage* faults instead of
+network ones: an :class:`IoFaultSpec` armed via :func:`io_fault_injection`
+makes the next matching write through
+:func:`repro.core.checkpoint.atomic_write_bytes` fail the way real disks
+fail — a torn (truncated, non-atomic) write, a flipped bit, a disk-full
+``OSError``, or a silently dropped manifest update. The chaos test suite
+(``tests/test_chaos_io.py``) uses it to prove a sweep survives each and
+reconverges to byte-identical results.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
+from fnmatch import fnmatch
+from pathlib import Path
 from typing import Iterator
 
 import numpy as np
@@ -32,12 +44,19 @@ from repro.network.graph import SnapshotGraph
 
 __all__ = [
     "FaultSpec",
+    "IO_FAULT_KINDS",
+    "IoFaultSpec",
     "active_fault_spec",
+    "active_io_fault",
     "apply_faults",
+    "consume_io_fault",
+    "corrupt_bytes",
     "failed_node_mask",
     "fault_injection",
+    "io_fault_injection",
     "parse_fault_spec",
     "set_active_fault_spec",
+    "set_active_io_fault",
 ]
 
 #: Component keys accepted by :func:`parse_fault_spec`.
@@ -203,3 +222,117 @@ def fault_injection(spec: FaultSpec | None) -> Iterator[FaultSpec | None]:
         yield spec
     finally:
         set_active_fault_spec(previous)
+
+
+# --- Injectable I/O faults ---------------------------------------------------
+#
+# The checkpoint layer's crash-safety claims are only claims until a
+# test makes the disk misbehave. The write path consults this registry:
+# when a spec is armed, the Nth write whose filename matches the pattern
+# fails in the requested way, once (or ``shots`` times), after which the
+# run proceeds normally — exactly the shape of a transient storage fault.
+
+#: Supported I/O fault kinds. ``torn_write`` leaves a truncated file at
+#: the destination (a crash on a non-atomic filesystem); ``bit_flip``
+#: corrupts one bit of the payload; ``disk_full`` raises ``OSError``
+#: (ENOSPC); ``stale_manifest`` silently drops the write, leaving
+#: whatever was on disk before (a manifest update that never landed).
+IO_FAULT_KINDS = ("torn_write", "bit_flip", "disk_full", "stale_manifest")
+
+
+@dataclass(frozen=True)
+class IoFaultSpec:
+    """One storage-fault injection: what fails, on which writes.
+
+    ``pattern`` is an ``fnmatch`` glob against the destination *file
+    name* (``snap_*`` targets shards, ``manifest.json`` the manifest).
+    The fault arms on the ``after``-th matching write (0 = first) and
+    fires ``shots`` times; later matching writes succeed.
+    """
+
+    kind: str
+    pattern: str = "*"
+    after: int = 0
+    shots: int = 1
+
+    def __post_init__(self):
+        if self.kind not in IO_FAULT_KINDS:
+            raise ValueError(
+                f"unknown I/O fault kind {self.kind!r}; "
+                f"valid: {', '.join(IO_FAULT_KINDS)}"
+            )
+        if self.after < 0:
+            raise ValueError("after must be non-negative")
+        if self.shots < 1:
+            raise ValueError("shots must be positive")
+
+
+_ACTIVE_IO_SPEC: IoFaultSpec | None = None
+_IO_MATCHES_SEEN = 0
+_IO_SHOTS_FIRED = 0
+
+
+def set_active_io_fault(spec: IoFaultSpec | None) -> IoFaultSpec | None:
+    """Arm (or disarm) the ambient I/O fault; returns the previous spec.
+
+    Arming resets the match/shot counters, so each armed spec counts
+    matching writes from zero.
+    """
+    global _ACTIVE_IO_SPEC, _IO_MATCHES_SEEN, _IO_SHOTS_FIRED
+    previous = _ACTIVE_IO_SPEC
+    _ACTIVE_IO_SPEC = spec
+    _IO_MATCHES_SEEN = 0
+    _IO_SHOTS_FIRED = 0
+    return previous
+
+
+def active_io_fault() -> IoFaultSpec | None:
+    """The armed I/O fault spec, or ``None`` when storage is healthy."""
+    return _ACTIVE_IO_SPEC
+
+
+@contextmanager
+def io_fault_injection(spec: IoFaultSpec | None) -> Iterator[IoFaultSpec | None]:
+    """Context manager: writes inside fail per ``spec`` (see above)."""
+    previous = set_active_io_fault(spec)
+    try:
+        yield spec
+    finally:
+        set_active_io_fault(previous)
+
+
+def consume_io_fault(path) -> str | None:
+    """The fault kind to apply to a write of ``path``, or ``None``.
+
+    Called by the write layer for every artifact write. Counts matching
+    writes and fires on the configured one; firing consumes a shot, so
+    a retried or resumed write goes through clean — the self-healing
+    path gets a healthy disk.
+    """
+    global _IO_MATCHES_SEEN, _IO_SHOTS_FIRED
+    spec = _ACTIVE_IO_SPEC
+    if spec is None or not fnmatch(Path(path).name, spec.pattern):
+        return None
+    index = _IO_MATCHES_SEEN
+    _IO_MATCHES_SEEN += 1
+    if index < spec.after or _IO_SHOTS_FIRED >= spec.shots:
+        return None
+    _IO_SHOTS_FIRED += 1
+    return spec.kind
+
+
+def corrupt_bytes(kind: str, data: bytes) -> bytes:
+    """The payload a faulty write leaves behind for ``kind``.
+
+    ``torn_write`` truncates to the first half (never empty, so the
+    result looks like a real partial flush); ``bit_flip`` flips one bit
+    in the middle byte. Other kinds do not transform payloads.
+    """
+    if kind == "torn_write":
+        return data[: max(1, len(data) // 2)]
+    if kind == "bit_flip":
+        if not data:
+            return data
+        middle = len(data) // 2
+        return data[:middle] + bytes([data[middle] ^ 0x01]) + data[middle + 1 :]
+    raise ValueError(f"fault kind {kind!r} does not corrupt payloads")

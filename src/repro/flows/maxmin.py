@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.integrity.guards import check_allocation, strict_enabled
 from repro.obs import incr, traced
 
 __all__ = ["MaxMinResult", "max_min_fair_allocation"]
@@ -144,4 +145,8 @@ def max_min_fair_allocation(
 
     loads = capacities - remaining
     incr("maxmin.bottleneck_rounds", rounds)
+    if strict_enabled():
+        # Feasibility is the allocator's contract; under strict mode we
+        # re-assert it on every real allocation, not just in the tests.
+        check_allocation(rates, loads, capacities, source="maxmin")
     return MaxMinResult(rates=rates, link_loads=loads, bottleneck_rounds=rounds)

@@ -31,6 +31,13 @@ from repro.constants import AIRCRAFT_ALTITUDE_M, AIRCRAFT_SPEED_MPS, SOLAR_DAY
 from repro.geo.geodesy import haversine_m, lonlat_from_unit_vectors, unit_vectors
 from repro.geo.landmask import is_land
 from repro.ground.airports import AIRPORTS, ROUTES
+from repro.integrity.validators import (
+    LATITUDE,
+    LONGITUDE,
+    Column,
+    InputValidationError,
+    TableSpec,
+)
 
 __all__ = ["Flight", "FlightSchedule", "default_schedule"]
 
@@ -143,7 +150,50 @@ class FlightSchedule:
         return lats, lons, np.full(len(lats), AIRCRAFT_ALTITUDE_M)
 
 
+#: Load-time validation of the embedded air tables: a transposed airport
+#: coordinate or a route naming a missing airport would silently thin
+#: the ocean relay field the paper's Fig. 3 depends on.
+_AIRPORT_SPEC = TableSpec(
+    name="airports.AIRPORTS",
+    columns=(
+        Column("code", kind="str"),
+        Column("lat_deg", **LATITUDE),
+        Column("lon_deg", **LONGITUDE),
+    ),
+    unique=("code",),
+)
+_ROUTE_SPEC = TableSpec(
+    name="airports.ROUTES",
+    columns=(
+        Column("origin", kind="str"),
+        Column("destination", kind="str"),
+        Column("daily_frequency", kind="int", min_value=1),
+    ),
+    unique=("origin", "destination"),
+)
+
+
+def _validate_air_tables() -> None:
+    _AIRPORT_SPEC.validate(
+        [(code, lat, lon) for code, (lat, lon) in AIRPORTS.items()]
+    )
+    _ROUTE_SPEC.validate(ROUTES)
+    for row, (origin, dest, _) in enumerate(ROUTES):
+        for column, code in (("origin", origin), ("destination", dest)):
+            if code not in AIRPORTS:
+                raise InputValidationError(
+                    f"unknown airport {code!r}",
+                    source="airports.ROUTES", row=row, column=column,
+                )
+        if origin == dest:
+            raise InputValidationError(
+                f"route {origin!r} -> {dest!r} has identical endpoints",
+                source="airports.ROUTES", row=row, column="destination",
+            )
+
+
 def _build_flights(seed: int, density_scale: float) -> list[Flight]:
+    _validate_air_tables()
     rng = np.random.default_rng(seed)
     flights: list[Flight] = []
     for origin, dest, frequency in ROUTES:

@@ -19,6 +19,7 @@ import numpy as np
 from repro.geo.geodesy import destination_point, haversine_m
 from repro.geo.landmask import is_land
 from repro.ground.city_data import RAW_CITIES
+from repro.integrity.validators import LATITUDE, LONGITUDE, Column, TableSpec
 
 __all__ = ["City", "load_cities", "city_by_name", "real_city_count"]
 
@@ -49,7 +50,23 @@ def real_city_count() -> int:
     return len(RAW_CITIES)
 
 
+#: Load-time validation of the embedded city table: a transposed lat/lon
+#: or duplicated row here would silently reshape the traffic matrix.
+_CITY_SPEC = TableSpec(
+    name="city_data.RAW_CITIES",
+    columns=(
+        Column("name", kind="str"),
+        Column("country", kind="str"),
+        Column("lat_deg", **LATITUDE),
+        Column("lon_deg", **LONGITUDE),
+        Column("population_k", kind="float", min_value=1e-6),
+    ),
+    unique=("name", "country"),
+)
+
+
 def _real_cities() -> list[City]:
+    _CITY_SPEC.validate(RAW_CITIES)
     cities = [
         City(name, country, float(lat), float(lon), float(pop))
         for name, country, lat, lon, pop in RAW_CITIES

@@ -1,0 +1,215 @@
+"""Declarative validation of external input tables.
+
+The simulation's headline numbers are only as good as the data they are
+computed from: the embedded city table, the airport/route tables behind
+the aircraft relay field, constellation presets, and fiber-edge
+coordinates. A hand-edited row with a transposed lat/lon or a NaN
+population silently poisons every downstream figure, so each loader
+validates its table at load time against a small declarative spec in the
+style of :mod:`repro.obs.schema`'s hand-rolled validator.
+
+A violation raises :class:`InputValidationError` naming the source
+(file/table), the offending row, and the column — the error a user can
+act on, instead of an ``IndexError`` three layers deeper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "Column",
+    "InputValidationError",
+    "LATITUDE",
+    "LONGITUDE",
+    "TableSpec",
+    "validate_latlon_arrays",
+]
+
+
+class InputValidationError(ValueError):
+    """An external input table failed validation.
+
+    Carries enough structure for programmatic handling: ``source`` (the
+    file or table name), ``row`` (0-based index or ``None`` for
+    table-level problems), and ``column`` (or ``None``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        source: str,
+        row: int | None = None,
+        column: str | None = None,
+    ):
+        self.source = source
+        self.row = row
+        self.column = column
+        where = source
+        if row is not None:
+            where += f", row {row}"
+        if column is not None:
+            where += f", column {column!r}"
+        super().__init__(f"{where}: {message}")
+
+
+@dataclass(frozen=True)
+class Column:
+    """Validation spec for one column of an input table.
+
+    ``kind`` is ``"float"``, ``"int"``, or ``"str"``. Numeric columns
+    reject NaN/inf unless ``finite=False``; bounds are inclusive. String
+    columns reject empty/whitespace-only values unless
+    ``allow_empty=True``.
+    """
+
+    name: str
+    kind: str = "float"
+    min_value: float | None = None
+    max_value: float | None = None
+    finite: bool = True
+    allow_empty: bool = False
+
+    def check(self, value, *, source: str, row: int) -> None:
+        """Validate one cell; raise :class:`InputValidationError`."""
+        if self.kind == "str":
+            if not isinstance(value, str):
+                raise InputValidationError(
+                    f"expected a string, got {type(value).__name__} ({value!r})",
+                    source=source, row=row, column=self.name,
+                )
+            if not self.allow_empty and not value.strip():
+                raise InputValidationError(
+                    "empty value", source=source, row=row, column=self.name
+                )
+            return
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise InputValidationError(
+                f"expected a number, got {type(value).__name__} ({value!r})",
+                source=source, row=row, column=self.name,
+            )
+        value = float(value)
+        if self.finite and not math.isfinite(value):
+            raise InputValidationError(
+                f"non-finite value {value!r}",
+                source=source, row=row, column=self.name,
+            )
+        if self.kind == "int" and math.isfinite(value) and value != int(value):
+            raise InputValidationError(
+                f"expected an integer, got {value!r}",
+                source=source, row=row, column=self.name,
+            )
+        if self.min_value is not None and value < self.min_value:
+            raise InputValidationError(
+                f"{value!r} below minimum {self.min_value}",
+                source=source, row=row, column=self.name,
+            )
+        if self.max_value is not None and value > self.max_value:
+            raise InputValidationError(
+                f"{value!r} above maximum {self.max_value}",
+                source=source, row=row, column=self.name,
+            )
+
+
+#: Ready-made column bounds shared by the geographic loaders.
+LATITUDE = dict(kind="float", min_value=-90.0, max_value=90.0)
+LONGITUDE = dict(kind="float", min_value=-180.0, max_value=180.0)
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Validation spec for a whole table: columns plus uniqueness keys.
+
+    ``unique`` names columns whose combined values must not repeat
+    across rows (duplicate detection, e.g. ``("name", "country")`` for
+    the city table).
+    """
+
+    name: str
+    columns: tuple[Column, ...]
+    unique: tuple[str, ...] = ()
+
+    def validate(self, rows: Iterable[Sequence | Mapping], source: str | None = None):
+        """Validate every row; raise :class:`InputValidationError`.
+
+        Rows may be sequences (cells in column order) or mappings keyed
+        by column name. Returns the number of rows checked so callers
+        can assert non-emptiness cheaply.
+        """
+        source = source or self.name
+        key_positions = [
+            i for i, col in enumerate(self.columns) if col.name in self.unique
+        ]
+        seen: dict[tuple, int] = {}
+        count = 0
+        for row_index, row in enumerate(rows):
+            count += 1
+            cells = self._cells(row, source=source, index=row_index)
+            for column, value in zip(self.columns, cells):
+                column.check(value, source=source, row=row_index)
+            if key_positions:
+                key = tuple(cells[i] for i in key_positions)
+                if key in seen:
+                    raise InputValidationError(
+                        f"duplicate {'+'.join(self.unique)} {key!r} "
+                        f"(first seen at row {seen[key]})",
+                        source=source, row=row_index,
+                        column=self.unique[0] if len(self.unique) == 1 else None,
+                    )
+                seen[key] = row_index
+        return count
+
+    def _cells(self, row, *, source: str, index: int) -> list:
+        """One row's cells in column order, from a sequence or mapping."""
+        if isinstance(row, Mapping):
+            missing = [c.name for c in self.columns if c.name not in row]
+            if missing:
+                raise InputValidationError(
+                    f"missing column(s) {', '.join(missing)}",
+                    source=source, row=index,
+                )
+            return [row[c.name] for c in self.columns]
+        if len(row) < len(self.columns):
+            raise InputValidationError(
+                f"expected {len(self.columns)} cells, got {len(row)}",
+                source=source, row=index,
+            )
+        return list(row[: len(self.columns)])
+
+
+def validate_latlon_arrays(lats, lons, *, source: str) -> None:
+    """Validate parallel lat/lon arrays (finite, in range, same length).
+
+    The array-shaped twin of the row validators, for call sites that
+    receive coordinates as numpy arrays (fiber edges, relay grids).
+    """
+    import numpy as np
+
+    lats = np.asarray(lats, dtype=float)
+    lons = np.asarray(lons, dtype=float)
+    if lats.shape != lons.shape:
+        raise InputValidationError(
+            f"lat/lon length mismatch: {lats.shape} vs {lons.shape}",
+            source=source,
+        )
+    for name, values, low, high in (
+        ("lat_deg", lats, -90.0, 90.0),
+        ("lon_deg", lons, -180.0, 180.0),
+    ):
+        bad = ~np.isfinite(values)
+        if bad.any():
+            row = int(np.argmax(bad))
+            raise InputValidationError(
+                f"non-finite value {values[row]!r}",
+                source=source, row=row, column=name,
+            )
+        out = (values < low) | (values > high)
+        if out.any():
+            row = int(np.argmax(out))
+            raise InputValidationError(
+                f"{values[row]!r} outside [{low}, {high}]",
+                source=source, row=row, column=name,
+            )

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geo.geodesy import haversine_m
+from repro.integrity.validators import validate_latlon_arrays
 
 __all__ = [
     "FIBER_REFRACTIVE_INDEX",
@@ -66,6 +67,7 @@ def city_fiber_edges(
         raise ValueError("max_fiber_km must be positive")
     lats = np.asarray(city_lats, dtype=float)
     lons = np.asarray(city_lons, dtype=float)
+    validate_latlon_arrays(lats, lons, source="city_fiber_edges")
     if len(lats) < 2:
         return np.empty((0, 2), dtype=np.int64), np.empty(0)
     distances = haversine_m(lats[:, None], lons[:, None], lats[None, :], lons[None, :])

@@ -9,6 +9,7 @@ Walker shell at Starlink's phase-2 polar altitude.
 from __future__ import annotations
 
 from repro import constants
+from repro.integrity.validators import Column, TableSpec
 from repro.orbits.constellation import Constellation, Shell
 
 __all__ = [
@@ -19,6 +20,7 @@ __all__ = [
     "kuiper",
     "starlink_with_polar",
     "preset",
+    "validate_constellation",
     "PRESET_NAMES",
 ]
 
@@ -94,11 +96,54 @@ _PRESETS = {
 PRESET_NAMES = tuple(sorted(_PRESETS))
 
 
+#: Sanity bounds for shell parameters, applied to every preset at lookup
+#: time: a fat-fingered constant (km where metres belong, a 530-degree
+#: inclination) should fail here, not as a silently empty visibility set.
+_SHELL_SPEC = TableSpec(
+    name="constellation shells",
+    columns=(
+        Column("name", kind="str"),
+        Column("num_planes", kind="int", min_value=1),
+        Column("sats_per_plane", kind="int", min_value=1),
+        Column("altitude_m", kind="float", min_value=100_000.0, max_value=50_000_000.0),
+        Column("inclination_deg", kind="float", min_value=0.0, max_value=180.0),
+        Column("min_elevation_deg", kind="float", min_value=0.0, max_value=90.0),
+        Column("raan_spread_deg", kind="float", min_value=0.0, max_value=360.0),
+    ),
+    unique=("name",),
+)
+
+
+def validate_constellation(constellation: Constellation) -> Constellation:
+    """Validate every shell's parameters; returns the constellation."""
+    _SHELL_SPEC.validate(
+        [
+            {
+                "name": shell.name,
+                "num_planes": shell.num_planes,
+                "sats_per_plane": shell.sats_per_plane,
+                "altitude_m": shell.altitude_m,
+                "inclination_deg": shell.inclination_deg,
+                "min_elevation_deg": shell.min_elevation_deg,
+                "raan_spread_deg": shell.raan_spread_deg,
+            }
+            for shell in constellation.shells
+        ],
+        source=f"constellation {constellation.name!r}",
+    )
+    return constellation
+
+
 def preset(name: str) -> Constellation:
-    """Look up a constellation preset by name; raises ``KeyError`` if unknown."""
+    """Look up a constellation preset by name; raises ``KeyError`` if unknown.
+
+    The preset's shells are validated against physical bounds on the way
+    out (see :mod:`repro.integrity.validators`).
+    """
     try:
-        return _PRESETS[name]()
+        factory = _PRESETS[name]
     except KeyError:
         raise KeyError(
             f"unknown preset {name!r}; available: {', '.join(PRESET_NAMES)}"
         ) from None
+    return validate_constellation(factory())

@@ -47,13 +47,42 @@ def save_rtt_series(series: RttSeries, path: str | Path) -> Path:
 
 
 def load_rtt_series(path: str | Path) -> RttSeries:
-    """Inverse of :func:`save_rtt_series`."""
-    with np.load(Path(path), allow_pickle=False) as data:
-        return RttSeries(
-            mode=ConnectivityMode(str(data["mode"])),
-            times_s=data["times_s"],
-            rtt_ms=data["rtt_ms"],
+    """Inverse of :func:`save_rtt_series`.
+
+    The payload is validated structurally before anything downstream
+    touches it: required arrays present, ``rtt_ms`` 2-D with one column
+    per snapshot time, a known connectivity mode. A truncated or
+    foreign ``.npz`` raises a ``ValueError`` naming the file, not an
+    opaque ``KeyError`` inside a plotting script.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        missing = [key for key in ("mode", "times_s", "rtt_ms") if key not in data]
+        if missing:
+            raise ValueError(
+                f"malformed RTT series {path}: missing array(s) "
+                f"{', '.join(missing)}"
+            )
+        mode_value = str(data["mode"])
+        times_s = np.asarray(data["times_s"], dtype=float)
+        rtt_ms = np.asarray(data["rtt_ms"], dtype=float)
+    try:
+        mode = ConnectivityMode(mode_value)
+    except ValueError as exc:
+        raise ValueError(
+            f"malformed RTT series {path}: unknown mode {mode_value!r}"
+        ) from exc
+    if rtt_ms.ndim != 2:
+        raise ValueError(
+            f"malformed RTT series {path}: rtt_ms must be 2-D "
+            f"(pairs x snapshots), got shape {rtt_ms.shape}"
         )
+    if rtt_ms.shape[1] != len(times_s):
+        raise ValueError(
+            f"malformed RTT series {path}: {rtt_ms.shape[1]} snapshot "
+            f"columns but {len(times_s)} snapshot times"
+        )
+    return RttSeries(mode=mode, times_s=times_s, rtt_ms=rtt_ms)
 
 
 def _jsonable(value):

@@ -32,6 +32,20 @@ def pytest_addoption(parser):
     )
 
 
+@pytest.fixture(autouse=True)
+def _strict_integrity():
+    """Run every test with result invariant guards on.
+
+    The guards are cheap and the suite is exactly where a violated
+    invariant should surface first; tests exercising non-strict behaviour
+    can turn them off locally with ``strict_checks(False)``.
+    """
+    from repro.integrity.guards import strict_checks
+
+    with strict_checks():
+        yield
+
+
 TINY_SCALE = ScenarioScale(
     name="tiny",
     num_cities=40,

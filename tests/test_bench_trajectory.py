@@ -130,6 +130,37 @@ class TestEndToEnd:
         assert code == 1
         assert "PERFORMANCE REGRESSIONS" in out
 
+    def test_empty_baseline_skips_comparison(self, bench, tmp_path, capsys):
+        # A zero-entry baseline (e.g. an interrupted earlier run) must
+        # not fail the run being measured.
+        baseline = tmp_path / "BENCH_20260101-000000.json"
+        baseline.write_text(json.dumps(_record({})))
+        code = bench.main(
+            ["--smoke", "--out", str(tmp_path), "--baseline", str(baseline)]
+        )
+        assert code == 0
+        assert "no entries; skipping comparison" in capsys.readouterr().out
+
+    def test_corrupt_baseline_skips_comparison(self, bench, tmp_path, capsys):
+        baseline = tmp_path / "BENCH_20260101-000000.json"
+        baseline.write_text("{truncated")
+        code = bench.main(
+            ["--smoke", "--out", str(tmp_path), "--baseline", str(baseline)]
+        )
+        assert code == 0
+        assert "unusable" in capsys.readouterr().out
+
+    def test_wrong_schema_baseline_skips_comparison(
+        self, bench, tmp_path, capsys
+    ):
+        baseline = tmp_path / "BENCH_20260101-000000.json"
+        baseline.write_text(json.dumps({"kind": "metrics"}))
+        code = bench.main(
+            ["--smoke", "--out", str(tmp_path), "--baseline", str(baseline)]
+        )
+        assert code == 0
+        assert "unusable" in capsys.readouterr().out
+
     def test_mismatched_config_skips_comparison(self, bench, tmp_path, capsys):
         assert bench.main(["--smoke", "--out", str(tmp_path)]) == 0
         baseline = next(tmp_path.glob("BENCH_*.json"))

@@ -1,7 +1,12 @@
 """Tests for checkpoint/resume of RTT sweeps."""
 
+import io
+import json
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 import repro.core.pipeline as pipeline
 from repro.core.checkpoint import (
@@ -243,3 +248,183 @@ class TestResume:
             progress=lambda done, total: ticks.append((done, total)),
         )
         assert ticks == [(3, 3)]
+
+
+def _filled_checkpoint(directory, times, num_pairs=3):
+    """A complete checkpoint whose row for index i is a known function."""
+    ck = RttCheckpoint.open(
+        directory, ConnectivityMode.BP_ONLY, times, num_pairs
+    )
+    for i in range(len(times)):
+        ck.store_snapshot(i, _row(i, num_pairs))
+    return ck
+
+
+def _row(index: int, num_pairs: int) -> np.ndarray:
+    """Deterministic stand-in for one snapshot's computed RTT row."""
+    return np.arange(num_pairs, dtype=float) + 100.0 * index + 1.0
+
+
+def _rerecord_digest(ck: RttCheckpoint, index: int) -> None:
+    """Update the manifest digest to match the shard's current bytes.
+
+    Lets a test corrupt a *payload* without tripping the digest check,
+    isolating the structural verification layer.
+    """
+    from repro.integrity.digest import digest_file
+
+    manifest_path = ck.directory / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    shard = ck.shard_path(index)
+    manifest["digests"][shard.name] = digest_file(shard)
+    manifest_path.write_text(json.dumps(manifest))
+
+
+class TestCorruptShards:
+    """Resume must quarantine and recompute, never trust or crash."""
+
+    def test_truncated_shard_quarantined(self, tmp_path, times):
+        ck = _filled_checkpoint(tmp_path / "ck", times)
+        shard = ck.shard_path(1)
+        shard.write_bytes(shard.read_bytes()[:20])
+        assert ck.completed_indices() == {0, 2}
+        assert not shard.exists()
+        quarantined = tmp_path / "ck" / "quarantine" / shard.name
+        assert quarantined.exists()
+        reason = json.loads(
+            (quarantined.parent / (shard.name + ".reason.json")).read_text()
+        )
+        assert "digest mismatch" in reason["reason"]
+
+    def test_bit_flipped_shard_quarantined(self, tmp_path, times):
+        ck = _filled_checkpoint(tmp_path / "ck", times)
+        shard = ck.shard_path(0)
+        raw = bytearray(shard.read_bytes())
+        raw[len(raw) // 2] ^= 0x01
+        shard.write_bytes(bytes(raw))
+        assert ck.completed_indices() == {1, 2}
+
+    def test_wrong_dtype_shard_quarantined(self, tmp_path, times):
+        ck = _filled_checkpoint(tmp_path / "ck", times)
+        buffer = io.BytesIO()
+        np.savez_compressed(
+            buffer,
+            rtt_ms=np.array([1, 2, 3], dtype=np.int64),
+            time_s=np.float64(times[1]),
+        )
+        ck.shard_path(1).write_bytes(buffer.getvalue())
+        _rerecord_digest(ck, 1)
+        assert ck.completed_indices() == {0, 2}
+        reasons = json.loads(
+            (
+                tmp_path / "ck" / "quarantine" / "snap_00001.npz.reason.json"
+            ).read_text()
+        )
+        assert "dtype" in reasons["reason"]
+
+    def test_index_disagreement_quarantined(self, tmp_path, times):
+        # Shard 2's bytes copied over shard 1: digest re-recorded, so only
+        # the embedded time_s betrays the manifest/shard disagreement.
+        ck = _filled_checkpoint(tmp_path / "ck", times)
+        ck.shard_path(1).write_bytes(ck.shard_path(2).read_bytes())
+        _rerecord_digest(ck, 1)
+        assert ck.completed_indices() == {0, 2}
+
+    def test_unrecorded_shard_quarantined(self, tmp_path, times):
+        # A shard landed but its manifest update never did (stale
+        # manifest after a crash between the two writes).
+        ck = _filled_checkpoint(tmp_path / "ck", times)
+        manifest_path = tmp_path / "ck" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["digests"]["snap_00002.npz"]
+        manifest_path.write_text(json.dumps(manifest))
+        assert ck.completed_indices() == {0, 1}
+
+    def test_out_of_range_shard_quarantined(self, tmp_path, times):
+        ck = _filled_checkpoint(tmp_path / "ck", times)
+        stray = tmp_path / "ck" / "snap_00009.npz"
+        stray.write_bytes((tmp_path / "ck" / "snap_00000.npz").read_bytes())
+        assert ck.completed_indices() == {0, 1, 2}
+        assert not stray.exists()
+
+    def test_quarantine_prunes_manifest_digest(self, tmp_path, times):
+        ck = _filled_checkpoint(tmp_path / "ck", times)
+        ck.shard_path(1).write_bytes(b"garbage")
+        ck.completed_indices()
+        digests = ck.recorded_digests()
+        assert "snap_00001.npz" not in digests
+        assert set(digests) == {"snap_00000.npz", "snap_00002.npz"}
+
+    def test_recompute_after_quarantine_completes(self, tmp_path, times):
+        ck = _filled_checkpoint(tmp_path / "ck", times)
+        ck.shard_path(0).write_bytes(b"garbage")
+        missing = set(range(3)) - ck.completed_indices()
+        for i in missing:
+            ck.store_snapshot(i, _row(i, 3))
+        assert ck.is_complete()
+
+    def test_fresh_quarantines_mismatched_checkpoint(self, tmp_path, times):
+        RttCheckpoint.open(tmp_path / "ck", ConnectivityMode.BP_ONLY, times, 4)
+        with pytest.raises(CheckpointMismatchError, match="--fresh"):
+            RttCheckpoint.open(
+                tmp_path / "ck", ConnectivityMode.HYBRID, times, 4
+            )
+        ck = RttCheckpoint.open(
+            tmp_path / "ck", ConnectivityMode.HYBRID, times, 4, fresh=True
+        )
+        assert ck.completed_indices() == set()
+        assert (tmp_path / "quarantine" / "ck").is_dir()
+
+    def test_mismatch_error_names_both_fingerprints(self, tmp_path, times):
+        RttCheckpoint.open(tmp_path / "ck", ConnectivityMode.BP_ONLY, times, 4)
+        with pytest.raises(CheckpointMismatchError) as excinfo:
+            RttCheckpoint.open(
+                tmp_path / "ck", ConnectivityMode.BP_ONLY, times, 5
+            )
+        message = str(excinfo.value)
+        assert str(tmp_path / "ck" / "manifest.json") in message
+        assert "!= expected" in message  # both fingerprints present
+
+
+#: One corruption op per shard index: how (if at all) to damage it.
+_CORRUPTIONS = st.lists(
+    st.sampled_from(["none", "truncate", "bitflip", "delete", "unrecord"]),
+    min_size=3,
+    max_size=3,
+)
+
+
+class TestReconvergence:
+    @settings(max_examples=25, deadline=None)
+    @given(ops=_CORRUPTIONS)
+    def test_quarantine_plus_recompute_reconverges(self, ops, tmp_path_factory):
+        """Any mix of shard damage heals back to the clean-run series."""
+        directory = tmp_path_factory.mktemp("ck") / "ck"
+        times = np.array([0.0, 900.0, 1800.0])
+        ck = _filled_checkpoint(directory, times)
+        clean = ck.assemble()
+
+        manifest_path = directory / "manifest.json"
+        for index, op in enumerate(ops):
+            shard = ck.shard_path(index)
+            if op == "truncate":
+                shard.write_bytes(shard.read_bytes()[: max(1, shard.stat().st_size // 2)])
+            elif op == "bitflip":
+                raw = bytearray(shard.read_bytes())
+                raw[len(raw) // 2] ^= 0x01
+                shard.write_bytes(bytes(raw))
+            elif op == "delete":
+                shard.unlink()
+            elif op == "unrecord":
+                manifest = json.loads(manifest_path.read_text())
+                manifest["digests"].pop(shard.name, None)
+                manifest_path.write_text(json.dumps(manifest))
+
+        # The resume protocol: verify, quarantine, recompute the gaps.
+        surviving = ck.completed_indices()
+        assert surviving == {i for i, op in enumerate(ops) if op == "none"}
+        for index in set(range(3)) - surviving:
+            ck.store_snapshot(index, _row(index, 3))
+        healed = ck.assemble()
+        assert healed.rtt_ms.tobytes() == clean.rtt_ms.tobytes()
+        assert ck.completed_indices() == {0, 1, 2}

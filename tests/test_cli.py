@@ -52,6 +52,23 @@ class TestParser:
         assert args.profile
         assert not build_parser().parse_args(["run", "fig2"]).profile
 
+    def test_run_parses_integrity_flags(self):
+        args = build_parser().parse_args(
+            ["run", "fig2", "--strict", "--resume", "ck", "--fresh"]
+        )
+        assert args.strict and args.fresh
+        plain = build_parser().parse_args(["run", "fig2"])
+        assert not plain.strict and not plain.fresh
+
+    def test_verify_parses_directory(self):
+        args = build_parser().parse_args(["verify", "artifacts"])
+        assert args.command == "verify"
+        assert str(args.directory) == "artifacts"
+
+    def test_fresh_without_resume_exits_2(self, capsys):
+        assert main(["run", "fig2", "--fresh"]) == 2
+        assert "--resume" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_list(self, capsys):

@@ -187,3 +187,89 @@ class TestRunSummary:
             failure=ExperimentFailure("y", "E", "m", "tb"),
         )
         assert ok.ok and not failed.ok
+
+
+class TestIntegrityIntegration:
+    def test_strict_context_active_during_run(self):
+        from repro.integrity.guards import strict_checks, strict_enabled
+
+        observed = {}
+
+        def probe(scale=None):
+            observed["strict"] = strict_enabled()
+            return _result("probe")
+
+        with strict_checks(False):  # suite default is strict; isolate
+            run_experiments(
+                ["probe"], experiments={"probe": probe}, strict=True,
+                echo=_silent,
+            )
+            assert observed["strict"] is True
+            run_experiments(
+                ["probe"], experiments={"probe": probe}, echo=_silent
+            )
+            assert observed["strict"] is False
+
+    def test_summary_reports_quarantines(self, tmp_path):
+        from repro.integrity.quarantine import quarantine_file
+
+        def quarantiner(scale=None):
+            victim = tmp_path / "bad.bin"
+            victim.write_bytes(b"x")
+            quarantine_file(victim, "test damage")
+            return _result("quarantiner")
+
+        summary = run_experiments(
+            ["quarantiner"], experiments={"quarantiner": quarantiner},
+            echo=_silent,
+        )
+        assert summary.integrity.get("quarantined") == 1
+        assert "quarantined=1" in summary.format_summary()
+
+    def test_clean_run_has_no_integrity_line(self):
+        summary = run_experiments(
+            ["good"], experiments={"good": _good}, echo=_silent
+        )
+        assert "Integrity:" not in summary.format_summary()
+
+    def test_fresh_restarts_mismatched_checkpoint(self, tmp_path, tiny_scenario):
+        from repro.core.checkpoint import checkpoint_for
+        from repro.core.pipeline import compute_rtt_series
+        from repro.network.graph import ConnectivityMode
+
+        # Poison the resume dir: a checkpoint fingerprint-colliding dir
+        # holding a manifest for a different pair count.
+        mode = ConnectivityMode.BP_ONLY
+
+        def sweep(scale=None):
+            compute_rtt_series(tiny_scenario, mode)
+            return _result("sweep")
+
+        run_experiments(
+            ["sweep"], experiments={"sweep": sweep}, resume_dir=tmp_path,
+            echo=_silent,
+        )
+        ck_dir = next(p for p in tmp_path.iterdir() if p.is_dir())
+        manifest = ck_dir / "manifest.json"
+        manifest.write_text(manifest.read_text().replace(
+            f'"num_pairs": {len(tiny_scenario.pairs)}', '"num_pairs": 9999'
+        ))
+
+        # Without --fresh: the experiment fails with the mismatch.
+        summary = run_experiments(
+            ["sweep"], experiments={"sweep": sweep}, resume_dir=tmp_path,
+            echo=_silent,
+        )
+        assert summary.failures
+        assert summary.failures[0].error_type == "CheckpointMismatchError"
+        assert "--fresh" in summary.failures[0].message
+
+        # With fresh=True: quarantined, restarted, sweep completes.
+        summary = run_experiments(
+            ["sweep"], experiments={"sweep": sweep}, resume_dir=tmp_path,
+            fresh=True, echo=_silent,
+        )
+        assert not summary.failures
+        ck = checkpoint_for(tmp_path, tiny_scenario, mode)
+        assert ck.is_complete()
+        assert (tmp_path / "quarantine").is_dir()

@@ -152,18 +152,28 @@ def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
     return path
 
 
-def scenario_fingerprint(scenario: "Scenario", mode: ConnectivityMode) -> str:
-    """Stable short hash identifying (scenario configuration, mode).
+def scenario_fingerprint(
+    scenario: "Scenario", mode: ConnectivityMode, label: str = ""
+) -> str:
+    """Stable short hash identifying (scenario configuration, mode, label).
 
     Built from the scenario's frozen-dataclass repr (constellation,
     scale, traffic seed, ablation knobs...) plus the connectivity mode
     and any ambient fault-injection spec, so checkpoints from different
     configurations land in different directories under one root.
+
+    ``label`` distinguishes different *sweeps* over the same scenario —
+    the RTT series (the historical default, empty label) versus e.g. a
+    ``tput-k4`` throughput series, whose rows mean something entirely
+    different. A non-empty label folds into the hash, so two sweeps can
+    never resume from each other's shards.
     """
     from repro.faults import active_fault_spec
 
     spec = active_fault_spec()
     key = f"{scenario!r}|{mode.value}|{'' if spec is None else spec.describe()}"
+    if label:
+        key += f"|{label}"
     return hashlib.sha1(key.encode()).hexdigest()[:16]
 
 
@@ -178,7 +188,14 @@ def _config_fingerprint(config: dict) -> str:
 
 @dataclass
 class RttCheckpoint:
-    """Per-snapshot RTT shards plus a validating manifest, in one directory."""
+    """Per-snapshot row shards plus a validating manifest, in one directory.
+
+    Despite the name (and the shards' historical ``rtt_ms`` array key),
+    the stored rows are generic float vectors of length ``num_pairs``:
+    the generic snapshot map checkpoints throughput series and other
+    per-snapshot rows through the same shard format, distinguished by
+    the directory's label/fingerprint (see :func:`checkpoint_for`).
+    """
 
     directory: Path
     mode: ConnectivityMode
@@ -492,27 +509,63 @@ def checkpoint_root(root: str | Path | None, fresh: bool = False):
         set_checkpoint_root(previous_root, fresh=previous_fresh)
 
 
+#: Characters allowed verbatim in a checkpoint directory name's label part.
+_LABEL_SANITIZER = re.compile(r"[^A-Za-z0-9._-]")
+
+
 def checkpoint_for(
     root: str | Path,
     scenario: "Scenario",
     mode: ConnectivityMode,
     fresh: bool = False,
+    *,
+    label: str = "",
+    times_s: np.ndarray | None = None,
+    row_len: int | None = None,
 ) -> RttCheckpoint:
-    """The checkpoint for one (scenario, mode) sweep under ``root``."""
-    directory = Path(root) / f"{mode.value}-{scenario_fingerprint(scenario, mode)}"
+    """The checkpoint for one (scenario, mode) sweep under ``root``.
+
+    The defaults describe the RTT sweep (one row entry per scenario
+    pair, the scenario's own snapshot grid, empty label) — exactly the
+    historical behaviour, so existing RTT checkpoints keep resuming.
+    Generic snapshot sweeps (see
+    :func:`repro.core.parallel.map_snapshot_rows_serial`) pass their own
+    ``label`` / ``times_s`` / ``row_len``: the label lands both in the
+    directory name (human-readable, sanitized) and in the fingerprint
+    (collision-proof even for hostile labels), and ``row_len`` replaces
+    the pair count as the manifest's row-shape pin.
+    """
+    fingerprint = scenario_fingerprint(scenario, mode, label=label)
+    name = f"{mode.value}-{fingerprint}"
+    if label:
+        name = f"{_LABEL_SANITIZER.sub('_', label)}-{name}"
+    times = scenario.times_s if times_s is None else np.asarray(times_s, dtype=float)
     return RttCheckpoint.open(
-        directory,
+        Path(root) / name,
         mode=mode,
-        times_s=scenario.times_s,
-        num_pairs=len(scenario.pairs),
+        times_s=times,
+        num_pairs=len(scenario.pairs) if row_len is None else int(row_len),
         fresh=fresh,
     )
 
 
 def active_checkpoint_for(
-    scenario: "Scenario", mode: ConnectivityMode
+    scenario: "Scenario",
+    mode: ConnectivityMode,
+    *,
+    label: str = "",
+    times_s: np.ndarray | None = None,
+    row_len: int | None = None,
 ) -> RttCheckpoint | None:
     """Checkpoint under the ambient root, or ``None`` when none is set."""
     if _ACTIVE_ROOT is None:
         return None
-    return checkpoint_for(_ACTIVE_ROOT, scenario, mode, fresh=_ACTIVE_FRESH)
+    return checkpoint_for(
+        _ACTIVE_ROOT,
+        scenario,
+        mode,
+        fresh=_ACTIVE_FRESH,
+        label=label,
+        times_s=times_s,
+        row_len=row_len,
+    )

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from itertools import chain
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -259,33 +260,34 @@ def _build_frame(static: StaticContext, time_s: float) -> GeometryFrame:
         for offset, count, chord in static.shell_params:
             shell_sats = sat_ecef[offset : offset + count]
             sat_units = shell_sats / np.linalg.norm(shell_sats, axis=1, keepdims=True)
-            static_lists = (
-                static.static_tree.query_ball_point(sat_units, r=chord)
-                if static.static_tree is not None
-                else None
-            )
-            air_lists = (
-                air_tree.query_ball_point(sat_units, r=chord)
-                if air_tree is not None
-                else None
-            )
-            for local_idx in range(count):
-                near_static = static_lists[local_idx] if static_lists is not None else []
-                near_air = air_lists[local_idx] if air_lists is not None else []
-                total = len(near_static) + len(near_air)
+            sat_parts: list[np.ndarray] = []
+            gt_parts: list[np.ndarray] = []
+            for tree, gt_offset in ((static.static_tree, 0), (air_tree, static_count)):
+                if tree is None:
+                    continue
+                lists = tree.query_ball_point(sat_units, r=chord)
+                counts = np.fromiter(
+                    (len(hits) for hits in lists), dtype=np.int64, count=count
+                )
+                total = int(counts.sum())
                 if not total:
                     continue
-                # Both query_ball_point lists are sorted and every
-                # aircraft index exceeds every static index after the
-                # offset, so static-then-aircraft preserves the sorted
-                # per-satellite order of the monolithic single-tree path.
-                gts = np.empty(total, dtype=np.int64)
-                gts[: len(near_static)] = near_static
-                gts[len(near_static) :] = (
-                    np.asarray(near_air, dtype=np.int64) + static_count
+                flat = np.fromiter(
+                    chain.from_iterable(lists), dtype=np.int64, count=total
                 )
-                edge_u.append(np.full(total, offset + local_idx, dtype=np.int64))
-                edge_v.append(gts + num_sats)
+                sat_parts.append(np.repeat(np.arange(count, dtype=np.int64), counts))
+                gt_parts.append(flat + gt_offset)
+            if not sat_parts:
+                continue
+            sats_local = np.concatenate(sat_parts)
+            gts = np.concatenate(gt_parts)
+            # Sort (satellite, gt) ascending. Every aircraft index
+            # exceeds every static index after the offset, so this is
+            # exactly the sorted per-satellite static-then-aircraft
+            # order of the historical per-satellite assembly loop.
+            order = np.lexsort((gts, sats_local))
+            edge_u.append(sats_local[order] + offset)
+            edge_v.append(gts[order] + num_sats)
 
     if edge_u:
         u = np.concatenate(edge_u)

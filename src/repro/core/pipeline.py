@@ -15,8 +15,8 @@ from scipy.sparse import csgraph
 
 from repro.constants import SPEED_OF_LIGHT
 from repro.core.scenario import Scenario
-from repro.obs import incr, span
-from repro.flows.traffic import CityPair
+from repro.obs import span
+from repro.flows.traffic import CityPair, pair_index
 from repro.network.graph import ConnectivityMode, SnapshotGraph
 from repro.network.paths import Path, extract_path
 
@@ -66,21 +66,28 @@ def _pairs_by_source(pairs: list[CityPair]) -> dict[int, list[int]]:
 
 def _pair_rtts_on_graph(graph: SnapshotGraph, pairs: list[CityPair]) -> np.ndarray:
     """Shortest-path RTT in ms for every pair on one snapshot graph."""
-    matrix = graph.matrix()
-    sources = _pairs_by_source(pairs)
-
-    rtts = np.full(len(pairs), np.inf)
-    source_cities = sorted(sources)
-    source_nodes = [graph.gt_node(city) for city in source_cities]
+    if not pairs:
+        return np.full(0, np.inf)
+    index = pair_index(pairs)
+    _, target_nodes = index.gt_nodes(graph.num_sats, graph.num_gts)
     with span("dijkstra"):
-        distances = csgraph.dijkstra(matrix, directed=True, indices=source_nodes)
-    for row, city in enumerate(source_cities):
-        for idx in sources[city]:
-            target_node = graph.gt_node(pairs[idx].b)
-            distance_m = distances[row, target_node]
-            if np.isfinite(distance_m):
-                rtts[idx] = 2e3 * distance_m / SPEED_OF_LIGHT
-    return rtts
+        distances = csgraph.dijkstra(
+            graph.matrix(),
+            directed=True,
+            indices=graph.num_sats + index.source_cities,
+        )
+    dist_m = distances[index.source_row, target_nodes]
+    return np.where(np.isfinite(dist_m), 2e3 * dist_m / SPEED_OF_LIGHT, np.inf)
+
+
+def _rtt_snapshot_row(scenario, time_s, mode) -> np.ndarray:
+    """Serial RTT evaluator: one snapshot's RTT row, strict-checked."""
+    from repro.integrity.guards import check_graph, strict_enabled
+
+    graph = scenario.graph_at(float(time_s), mode)
+    if strict_enabled():
+        check_graph(graph, source=f"graph[t={float(time_s):g}s]")
+    return _pair_rtts_on_graph(graph, scenario.pairs)
 
 
 def compute_rtt_series_multi(
@@ -91,11 +98,13 @@ def compute_rtt_series_multi(
 ) -> "dict[ConnectivityMode, RttSeries]":
     """RTTs of every scenario pair across every snapshot, for several modes.
 
-    The loop is time-outer, mode-inner: every requested mode of one
-    snapshot assembles from the same cached geometry frame before the
-    sweep moves to the next time, so a BP + hybrid comparison pays for
-    satellite propagation and KD-tree visibility queries exactly once
-    per snapshot — regardless of the engine's frame-cache depth.
+    A thin RTT evaluator over the generic snapshot map
+    (:func:`repro.core.parallel.map_snapshot_rows_serial`), whose loop
+    is time-outer, mode-inner: every requested mode of one snapshot
+    assembles from the same cached geometry frame before the sweep moves
+    to the next time, so a BP + hybrid comparison pays for satellite
+    propagation and KD-tree visibility queries exactly once per snapshot
+    — regardless of the engine's frame-cache depth.
 
     ``progress`` (optional) is called as ``progress(i, total)`` after
     each snapshot (all modes of it). ``checkpoints`` (optional) maps
@@ -103,57 +112,26 @@ def compute_rtt_series_multi(
     modes without an entry fall back to the ambient checkpoint root
     when one is active.
     """
-    from repro.core.checkpoint import active_checkpoint_for
-    from repro.integrity.guards import check_graph, check_rtt_series, strict_enabled
-    from repro.integrity.quarantine import note
+    # Lazy import: parallel imports this module at load time.
+    from repro.core.parallel import map_snapshot_rows_serial
+    from repro.integrity.guards import check_rtt_series, strict_enabled
 
     modes = list(modes)
-    resolved = dict(checkpoints or {})
-    for mode in modes:
-        if resolved.get(mode) is None:
-            resolved[mode] = active_checkpoint_for(scenario, mode)
-    pairs = scenario.pairs
-    times = scenario.times_s
-    completed = {
-        mode: (
-            resolved[mode].completed_indices()
-            if resolved[mode] is not None
-            else frozenset()
-        )
-        for mode in modes
-    }
-    rtt = {mode: np.full((len(pairs), len(times)), np.inf) for mode in modes}
-    for i, time_s in enumerate(times):
-        for mode in modes:
-            checkpoint = resolved[mode]
-            if i in completed[mode]:
-                incr("checkpoint.hits")
-                rtt[mode][:, i] = checkpoint.load_snapshot(i)
-            else:
-                if checkpoint is not None:
-                    incr("checkpoint.misses")
-                with span("snapshot"):
-                    graph = scenario.graph_at(float(time_s), mode)
-                    if strict_enabled():
-                        check_graph(graph, source=f"graph[t={float(time_s):g}s]")
-                    rtt[mode][:, i] = _pair_rtts_on_graph(graph, pairs)
-                if checkpoint is not None:
-                    try:
-                        checkpoint.store_snapshot(i, rtt[mode][:, i])
-                    except OSError:
-                        # Disk full (or gone): the sweep's numbers are
-                        # unaffected — continue uncheckpointed and let
-                        # the run summary surface the degradation.
-                        note("store_errors")
-        if progress is not None:
-            progress(i + 1, len(times))
+    rows = map_snapshot_rows_serial(
+        scenario,
+        modes,
+        _rtt_snapshot_row,
+        row_len=len(scenario.pairs),
+        checkpoints=checkpoints,
+        progress=progress,
+    )
     series = {
-        mode: RttSeries(mode=mode, times_s=times, rtt_ms=rtt[mode])
+        mode: RttSeries(mode=mode, times_s=scenario.times_s, rtt_ms=rows[mode])
         for mode in modes
     }
     if strict_enabled():
         for mode in modes:
-            check_rtt_series(series[mode], pairs, source=f"rtt[{mode.value}]")
+            check_rtt_series(series[mode], scenario.pairs, source=f"rtt[{mode.value}]")
     return series
 
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.parallel import map_snapshot_rows_parallel
 from repro.core.scenario import Scenario, ScenarioScale
 from repro.experiments.base import ExperimentResult, default_scale, register
 from repro.network.graph import ConnectivityMode
@@ -21,34 +22,52 @@ from repro.reporting.tables import format_summary, format_table
 __all__ = ["run"]
 
 
+def _component_row(scenario, time_s, mode) -> np.ndarray:
+    """Snapshot-map evaluator: (disconnected count, disconnected fraction)."""
+    graph = scenario.graph_at(float(time_s), mode)
+    stats = graph.satellite_component_stats()
+    return np.asarray(
+        [
+            float(stats["disconnected_satellites"]),
+            float(stats["disconnected_fraction"]),
+        ]
+    )
+
+
 @register("disconnected")
 def run(scale: ScenarioScale | None = None, constellation: str = "starlink") -> ExperimentResult:
     """Run this experiment; see the module docstring for the design."""
     scale = scale or default_scale()
     scenario = Scenario.paper_default(constellation, scale)
 
+    # Through the generic snapshot map: both modes of each snapshot
+    # share one geometry frame via the engine, and the per-snapshot rows
+    # checkpoint/resume under an ambient root like every other sweep.
+    modes = (ConnectivityMode.BP_ONLY, ConnectivityMode.HYBRID)
+    mapped = map_snapshot_rows_parallel(
+        scenario,
+        modes,
+        _component_row,
+        row_len=2,
+        label="disconnected",
+        processes=1,
+    )
+    bp_rows = mapped[ConnectivityMode.BP_ONLY]
+    hy_rows = mapped[ConnectivityMode.HYBRID]
+
     rows = []
-    fractions = []
-    hybrid_fractions = []
-    for time_s in scenario.times_s:
-        # Both modes from one shared geometry frame per snapshot.
-        graphs = scenario.graphs_at(
-            float(time_s), (ConnectivityMode.BP_ONLY, ConnectivityMode.HYBRID)
-        )
-        bp_stats = graphs[ConnectivityMode.BP_ONLY].satellite_component_stats()
-        hy_stats = graphs[ConnectivityMode.HYBRID].satellite_component_stats()
-        fractions.append(bp_stats["disconnected_fraction"])
-        hybrid_fractions.append(hy_stats["disconnected_fraction"])
+    for i, time_s in enumerate(scenario.times_s):
         rows.append(
             [
                 f"{time_s / 60:.0f} min",
-                bp_stats["disconnected_satellites"],
-                f"{100 * bp_stats['disconnected_fraction']:.1f}%",
-                f"{100 * hy_stats['disconnected_fraction']:.1f}%",
+                int(bp_rows[0, i]),
+                f"{100 * bp_rows[1, i]:.1f}%",
+                f"{100 * hy_rows[1, i]:.1f}%",
             ]
         )
 
-    fractions = np.asarray(fractions)
+    fractions = bp_rows[1]
+    hybrid_fractions = hy_rows[1]
     table = format_table(
         ["snapshot", "BP disconnected sats", "BP fraction", "hybrid fraction"],
         rows,

@@ -83,22 +83,21 @@ def max_min_fair_allocation(
             raise ValueError("weights must have one entry per flow")
         if np.any(weights <= 0):
             raise ValueError("weights must be positive")
-    for i, edges in enumerate(flow_edges):
-        if len(edges) == 0:
-            raise ValueError(f"flow {i} traverses no links")
+    flow_lens = np.array([len(edges) for edges in flow_edges], dtype=np.int64)
+    if np.any(flow_lens == 0):
+        bad = int(np.flatnonzero(flow_lens == 0)[0])
+        raise ValueError(f"flow {bad} traverses no links")
 
-    # Edge -> flows incidence in CSR style.
-    flow_ids = np.concatenate(
-        [np.full(len(edges), i, dtype=np.int64) for i, edges in enumerate(flow_edges)]
-    )
+    # Flow -> edges incidence in CSR style (entries in flow order), plus
+    # the edge-sorted view used to find the flows on a saturated link.
+    flow_ids = np.repeat(np.arange(n_flows, dtype=np.int64), flow_lens)
+    flow_ptr = np.concatenate([[0], np.cumsum(flow_lens)])
     edge_ids = np.concatenate([np.asarray(e, dtype=np.int64) for e in flow_edges])
     if len(edge_ids) and (edge_ids.min() < 0 or edge_ids.max() >= n_edges):
         raise ValueError("flow references an edge id outside the capacity table")
     order = np.argsort(edge_ids, kind="stable")
     sorted_edges = edge_ids[order]
     sorted_flows = flow_ids[order]
-    edge_start = np.searchsorted(sorted_edges, np.arange(n_edges), side="left")
-    edge_end = np.searchsorted(sorted_edges, np.arange(n_edges), side="right")
 
     active = np.ones(n_flows, dtype=bool)
     rates = np.zeros(n_flows)
@@ -110,37 +109,47 @@ def max_min_fair_allocation(
     np.add.at(counts, edge_ids, incidence_weights)
 
     rounds = 0
+    saturation_slack = _EPS * capacities
+    headroom = np.empty(n_edges)
+    scratch = np.empty(n_edges)
     while active.any():
         used = counts > _EPS
         if not used.any():
             break  # Defensive: active flows but no loaded links.
+        np.copyto(headroom, np.inf)
         with np.errstate(divide="ignore"):
-            headroom = np.where(used, remaining / np.maximum(counts, _EPS), np.inf)
+            np.divide(remaining, np.maximum(counts, _EPS), out=headroom, where=used)
         increment = float(headroom.min())
         if not np.isfinite(increment):
             break
         increment = max(increment, 0.0)
 
         rates[active] += weights[active] * increment
-        remaining = remaining - counts * increment
+        np.multiply(counts, increment, out=scratch)
+        np.subtract(remaining, scratch, out=remaining)
         rounds += 1
 
-        saturated = used & (remaining <= _EPS * capacities)
+        saturated = used & (remaining <= saturation_slack)
         if not saturated.any():
             # Numeric guard: force-freeze the tightest link so the loop
             # always progresses even under pathological rounding.
             saturated = used & (headroom <= increment * (1.0 + 1e-9))
-        frozen_flows: set[int] = set()
-        for edge in np.nonzero(saturated)[0]:
-            for flow in sorted_flows[edge_start[edge] : edge_end[edge]]:
-                if active[flow]:
-                    frozen_flows.add(int(flow))
-        for flow in frozen_flows:
-            active[flow] = False
-            np.add.at(
-                counts,
-                np.asarray(flow_edges[flow], dtype=np.int64),
-                -weights[flow],
+        # Freeze, vectorized: gather the (still-active) flows crossing
+        # any saturated link, then retire their weight from every link
+        # they traverse with one weighted bincount.
+        candidates = sorted_flows[saturated[sorted_edges]]
+        frozen = np.unique(candidates[active[candidates]])
+        if frozen.size:
+            active[frozen] = False
+            lens = flow_lens[frozen]
+            offsets = np.arange(int(lens.sum())) - np.repeat(
+                np.cumsum(lens) - lens, lens
+            )
+            positions = np.repeat(flow_ptr[frozen], lens) + offsets
+            counts -= np.bincount(
+                edge_ids[positions],
+                weights=np.repeat(weights[frozen], lens),
+                minlength=n_edges,
             )
 
     loads = capacities - remaining

@@ -4,6 +4,17 @@ Each city pair becomes up to ``k`` sub-flows, one per edge-disjoint
 shortest path (paper Section 5). Sub-flows are independent entities in
 the max-min allocation — because the paths are edge-disjoint, sub-flows
 of the same pair never compete with each other.
+
+Routing is *source-batched*: round 1 of the greedy disjoint scheme runs
+on the pristine matrix for every pair, so one predecessor-producing
+Dijkstra per unique source city serves every pair sharing that source
+(exactly how the RTT pipeline batches). Only rounds 2..k — which search
+a matrix with the pair's earlier paths deleted — fall back to per-pair
+Dijkstra; at k = 1 no per-pair search runs at all. Edge ids and the CSR
+slots to delete come from vectorized lookups cached on the graph
+(:meth:`SnapshotGraph.edge_ids_for_pairs` /
+:meth:`SnapshotGraph.edge_csr_positions`) instead of per-hop dict
+probes.
 """
 
 from __future__ import annotations
@@ -11,13 +22,25 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from scipy.sparse import csgraph
 
-from repro.flows.traffic import CityPair
+from repro.flows.traffic import CityPair, pair_index
 from repro.network.graph import SnapshotGraph
-from repro.network.paths import Path, k_edge_disjoint_paths
-from repro.obs import incr, traced
+from repro.network.paths import Path, extract_path
+from repro.obs import incr, span, traced
 
-__all__ = ["SubFlow", "RoutedTraffic", "route_traffic", "edge_id_index"]
+__all__ = [
+    "SubFlow",
+    "RoutedTraffic",
+    "route_traffic",
+    "route_traffic_multi_k",
+    "edge_id_index",
+]
+
+#: Sources per batched predecessor-Dijkstra call. Bounds the dense
+#: (sources x nodes) distance/predecessor block a chunk materializes to
+#: a few tens of MB even on the full ~65k-node graph.
+_SOURCE_BATCH = 64
 
 
 @dataclass(frozen=True)
@@ -47,13 +70,185 @@ class RoutedTraffic:
 
 
 def edge_id_index(graph: SnapshotGraph) -> dict[tuple[int, int], int]:
-    """Map canonical (min, max) node pairs to edge ids."""
+    """Map canonical (min, max) node pairs to edge ids.
+
+    Kept for external callers; the routing fast path uses the graph's
+    cached vectorized mapping (:meth:`SnapshotGraph.edge_ids_for_pairs`)
+    instead.
+    """
     u = np.minimum(graph.edges[:, 0], graph.edges[:, 1])
     v = np.maximum(graph.edges[:, 0], graph.edges[:, 1])
     return {(int(a), int(b)): i for i, (a, b) in enumerate(zip(u, v))}
 
 
-@traced("route_paths")
+def _path_edge_ids(graph: SnapshotGraph, path: Path) -> np.ndarray:
+    nodes = np.asarray(path.nodes, dtype=np.int64)
+    return graph.edge_ids_for_pairs(nodes[:-1], nodes[1:])
+
+
+def _batch_edge_ids(graph: SnapshotGraph, paths: list[Path]) -> list[np.ndarray]:
+    """Edge ids of many paths, resolved in one vectorized lookup."""
+    if not paths:
+        return []
+    nodes = [np.asarray(p.nodes, dtype=np.int64) for p in paths]
+    hops = graph.edge_ids_for_pairs(
+        np.concatenate([n[:-1] for n in nodes]),
+        np.concatenate([n[1:] for n in nodes]),
+    )
+    counts = np.array([len(n) - 1 for n in nodes])
+    return np.split(hops, np.cumsum(counts)[:-1])
+
+
+def _first_round_paths(graph: SnapshotGraph, index) -> "list[Path | None]":
+    """Round-1 shortest path for every pair, batched by source city."""
+    matrix = graph.matrix()
+    paths: "list[Path | None]" = [None] * index.num_pairs
+    source_nodes = graph.num_sats + index.source_cities
+    target_nodes = graph.num_sats + index.targets
+    for start in range(0, len(source_nodes), _SOURCE_BATCH):
+        chunk = source_nodes[start : start + _SOURCE_BATCH]
+        with span("dijkstra"):
+            dist, pred = csgraph.dijkstra(
+                matrix, directed=True, indices=chunk, return_predecessors=True
+            )
+        incr("routing.batched_dijkstras", len(chunk))
+        if dist.ndim == 1:  # a one-source chunk comes back flat
+            dist, pred = dist[None, :], pred[None, :]
+        for row in range(len(chunk)):
+            source = int(chunk[row])
+            dist_row, pred_row = dist[row], pred[row]
+            for pidx in index.pairs_for_source(start + row):
+                target = int(target_nodes[pidx])
+                nodes = extract_path(pred_row, source, target)
+                if nodes is not None:
+                    paths[pidx] = Path(
+                        nodes=nodes, length_m=float(dist_row[target])
+                    )
+    return paths
+
+
+def _extra_disjoint_paths(
+    graph: SnapshotGraph,
+    matrix,
+    source: int,
+    target: int,
+    k: int,
+    first: Path,
+    first_ids: np.ndarray,
+) -> "list[tuple[Path, np.ndarray]]":
+    """Rounds 2..k of the greedy edge-disjoint scheme, round 1 given.
+
+    The matrix is modified in place (each found path's edges deleted in
+    both directions) and fully restored before returning, matching
+    :func:`repro.network.paths.k_edge_disjoint_paths`.
+    """
+    found = [(first, first_ids)]
+    touched: "list[tuple[np.ndarray, np.ndarray]]" = []
+    searches = 0
+    try:
+        positions = graph.edge_csr_positions(first_ids)
+        matrix.data[positions] = np.inf
+        touched.append((positions, first_ids))
+        while len(found) < k:
+            searches += 1
+            # csgraph.dijkstra directly, not the shortest_path wrapper:
+            # a per-call span on a sub-millisecond search is measurable
+            # overhead at this call rate; the enclosing disjoint_rounds
+            # span carries the aggregate timing. min_only skips the
+            # multi-source bookkeeping (identical dist/pred for one
+            # source) and shaves a few percent per search.
+            dist, pred, _ = csgraph.dijkstra(
+                matrix,
+                directed=True,
+                indices=[source],
+                return_predecessors=True,
+                min_only=True,
+            )
+            nodes = extract_path(pred, source, target)
+            if nodes is None:
+                break
+            path = Path(nodes=nodes, length_m=float(dist[target]))
+            ids = _path_edge_ids(graph, path)
+            found.append((path, ids))
+            positions = graph.edge_csr_positions(ids)
+            matrix.data[positions] = np.inf
+            touched.append((positions, ids))
+    finally:
+        for positions, ids in touched:
+            # Both directed entries of an edge hold its distance.
+            matrix.data[positions] = np.repeat(graph.edge_dist_m[ids], 2)
+        if searches:
+            incr("routing.pair_dijkstras", searches)
+    return found
+
+
+@traced("routing")
+def route_traffic_multi_k(
+    graph: SnapshotGraph,
+    pairs: list[CityPair],
+    ks,
+) -> "dict[int, RoutedTraffic]":
+    """Route every pair for several path counts, sharing round 1.
+
+    The round-1 path of the greedy disjoint scheme is searched on the
+    pristine matrix and therefore identical for every ``k`` — computing
+    k = 1 and k = 4 together (as Fig. 4 does) pays for the batched
+    source Dijkstras once. Returns ``{k: RoutedTraffic}`` with results
+    identical to separate :func:`route_traffic` calls.
+    """
+    ks = tuple(dict.fromkeys(int(k) for k in ks))
+    if not ks:
+        raise ValueError("ks must name at least one path count")
+    if min(ks) < 1:
+        raise ValueError("k must be >= 1")
+    index = pair_index(pairs)
+    # One bounds check for the whole pair list (mirrors graph.gt_node).
+    source_nodes, target_nodes = index.gt_nodes(graph.num_sats, graph.num_gts)
+    matrix = graph.matrix()
+
+    with span("first_round"):
+        first_paths = _first_round_paths(graph, index)
+        routed_indices = [i for i, p in enumerate(first_paths) if p is not None]
+        first_ids: "list[np.ndarray | None]" = [None] * index.num_pairs
+        for pidx, ids in zip(
+            routed_indices,
+            _batch_edge_ids(graph, [first_paths[i] for i in routed_indices]),
+        ):
+            first_ids[pidx] = ids
+
+    results: "dict[int, RoutedTraffic]" = {}
+    for k in ks:
+        subflows: list[SubFlow] = []
+        unrouted: list[int] = []
+        with span("disjoint_rounds"):
+            for pidx in range(index.num_pairs):
+                first = first_paths[pidx]
+                if first is None:
+                    incr("routing.unrouted_pairs")
+                    unrouted.append(pidx)
+                    continue
+                if k == 1:
+                    routed = [(first, first_ids[pidx])]
+                else:
+                    routed = _extra_disjoint_paths(
+                        graph,
+                        matrix,
+                        int(source_nodes[pidx]),
+                        int(target_nodes[pidx]),
+                        k,
+                        first,
+                        first_ids[pidx],
+                    )
+                for path, ids in routed:
+                    subflows.append(
+                        SubFlow(pair_index=pidx, path=path, edge_ids=ids)
+                    )
+        results[k] = RoutedTraffic(
+            graph=graph, subflows=subflows, unrouted_pairs=unrouted
+        )
+    return results
+
+
 def route_traffic(
     graph: SnapshotGraph,
     pairs: list[CityPair],
@@ -66,27 +261,4 @@ def route_traffic(
     Pairs with no path at this snapshot are recorded in
     ``unrouted_pairs`` rather than silently dropped.
     """
-    edge_index = edge_id_index(graph)
-    matrix = graph.matrix()
-    subflows: list[SubFlow] = []
-    unrouted: list[int] = []
-    for pair_idx, pair in enumerate(pairs):
-        source = graph.gt_node(pair.a)
-        target = graph.gt_node(pair.b)
-        paths = k_edge_disjoint_paths(matrix, source, target, k)
-        if not paths:
-            incr("routing.unrouted_pairs")
-            unrouted.append(pair_idx)
-            continue
-        for path in paths:
-            edge_ids = np.array(
-                [
-                    edge_index[(min(u, v), max(u, v))]
-                    for u, v in path.edge_pairs()
-                ],
-                dtype=np.int64,
-            )
-            subflows.append(
-                SubFlow(pair_index=pair_idx, path=path, edge_ids=edge_ids)
-            )
-    return RoutedTraffic(graph=graph, subflows=subflows, unrouted_pairs=unrouted)
+    return route_traffic_multi_k(graph, pairs, (k,))[int(k)]

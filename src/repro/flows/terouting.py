@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.flows.routing import RoutedTraffic, SubFlow, edge_id_index
+from repro.flows.routing import RoutedTraffic, SubFlow
 from repro.flows.traffic import CityPair
 from repro.network.graph import SnapshotGraph
 from repro.network.links import LinkCapacities
@@ -53,29 +53,15 @@ def route_load_aware(
         raise ValueError("paths_per_pair must be >= 1")
     capacities = capacities or LinkCapacities()
     edge_caps = graph.edge_capacities(capacities)
-    edge_index = edge_id_index(graph)
 
     base = graph.matrix().tocsr(copy=True)
     base_dist = base.data.copy()
 
     # Map each CSR data position to its undirected edge id (for load and
-    # capacity lookups), vectorized: canonical (min, max) node pairs are
-    # encoded as a single integer key and matched by binary search.
+    # capacity lookups) with the graph's cached canonical-key mapping.
     # (COO from CSR preserves data ordering, so positions align.)
     coo = base.tocoo()
-    n = graph.num_nodes
-    graph_keys = (
-        np.minimum(graph.edges[:, 0], graph.edges[:, 1]) * n
-        + np.maximum(graph.edges[:, 0], graph.edges[:, 1])
-    )
-    key_order = np.argsort(graph_keys)
-    coo_keys = (
-        np.minimum(coo.row, coo.col).astype(np.int64) * n
-        + np.maximum(coo.row, coo.col).astype(np.int64)
-    )
-    position_edge = key_order[
-        np.searchsorted(graph_keys[key_order], coo_keys)
-    ]
+    position_edge = graph.edge_ids_for_pairs(coo.row, coo.col)
 
     load_units = np.zeros(graph.num_edges)
     reference_cap = capacities.gt_sat_bps
@@ -97,13 +83,8 @@ def route_load_aware(
             if path is None:
                 break
             routed_any = True
-            edge_ids = np.array(
-                [
-                    edge_index[(min(u, v), max(u, v))]
-                    for u, v in path.edge_pairs()
-                ],
-                dtype=np.int64,
-            )
+            nodes = np.asarray(path.nodes, dtype=np.int64)
+            edge_ids = graph.edge_ids_for_pairs(nodes[:-1], nodes[1:])
             # Recompute the true propagation length of the chosen path
             # (the search ran on inflated weights).
             true_length = float(np.sum(graph.edge_dist_m[edge_ids]))

@@ -119,6 +119,9 @@ class SnapshotGraph:
     stations: StationTable
 
     _matrix_cache: sparse.csr_matrix | None = None
+    _edge_key_cache: "tuple[np.ndarray, np.ndarray] | None" = None
+    _csr_pos_cache: np.ndarray | None = None
+    _edge_caps_cache: dict | None = None
 
     @property
     def num_nodes(self) -> int:
@@ -139,12 +142,24 @@ class SnapshotGraph:
         return 0 <= node < self.num_sats
 
     def edge_capacities(self, capacities: LinkCapacities) -> np.ndarray:
-        """Per-edge capacity array for a capacity assignment, bits/s."""
-        caps = np.where(
-            self.edge_kind == _KIND_ISL, capacities.isl_bps, capacities.gt_sat_bps
-        )
-        caps = np.where(self.edge_kind == _KIND_FIBER, capacities.fiber_bps, caps)
-        return caps.astype(float)
+        """Per-edge capacity array for a capacity assignment, bits/s.
+
+        Memoized per capacity assignment (capacity sweeps and multi-k
+        evaluations ask for the same table repeatedly); treat the
+        returned array as read-only.
+        """
+        key = (capacities.gt_sat_bps, capacities.isl_bps, capacities.fiber_bps)
+        if self._edge_caps_cache is None:
+            self._edge_caps_cache = {}
+        caps = self._edge_caps_cache.get(key)
+        if caps is None:
+            caps = np.where(
+                self.edge_kind == _KIND_ISL, capacities.isl_bps, capacities.gt_sat_bps
+            )
+            caps = np.where(self.edge_kind == _KIND_FIBER, capacities.fiber_bps, caps)
+            caps = caps.astype(float)
+            self._edge_caps_cache[key] = caps
+        return caps
 
     def edge_link_kind(self, edge_index: int) -> LinkKind:
         """Physical link family of one edge."""
@@ -166,6 +181,65 @@ class SnapshotGraph:
                 (data, (row, col)), shape=(self.num_nodes, self.num_nodes)
             )
         return self._matrix_cache
+
+    def _edge_key_index(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Sorted canonical edge keys plus the matching edge-id order.
+
+        Each undirected edge is encoded as ``min * num_nodes + max`` so a
+        whole batch of (u, v) lookups becomes one ``np.searchsorted``.
+        The sort is stable and lookups take the *last* match, so a
+        (degenerate) duplicate edge resolves to the same id a dict built
+        in edge order would give.
+        """
+        if self._edge_key_cache is None:
+            u = self.edges[:, 0].astype(np.int64)
+            v = self.edges[:, 1].astype(np.int64)
+            keys = np.minimum(u, v) * self.num_nodes + np.maximum(u, v)
+            order = np.argsort(keys, kind="stable")
+            self._edge_key_cache = (keys[order], order)
+        return self._edge_key_cache
+
+    def edge_ids_for_pairs(self, u, v) -> np.ndarray:
+        """Edge ids for arrays of (u, v) node pairs, direction-agnostic.
+
+        Vectorized replacement for per-hop dict lookups on the hot
+        routing path. Raises :class:`KeyError` when any pair is not an
+        edge of this snapshot.
+        """
+        sorted_keys, order = self._edge_key_index()
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        keys = np.minimum(u, v) * self.num_nodes + np.maximum(u, v)
+        pos = np.searchsorted(sorted_keys, keys, side="right") - 1
+        if keys.size and (pos.min() < 0 or np.any(sorted_keys[pos] != keys)):
+            raise KeyError("node pair is not an edge of this snapshot")
+        return order[pos]
+
+    def edge_csr_positions(self, edge_ids) -> np.ndarray:
+        """Positions in ``matrix().data`` of both directed entries per edge.
+
+        For edge id ``e`` between nodes (u, v) the result holds the data
+        positions of (u, v) and (v, u), interleaved per edge — the exact
+        slots the disjoint-path search zeroes out and restores. CSR
+        entries are sorted by (row, column), so the flat key
+        ``row * num_nodes + column`` is globally sorted and one binary
+        search resolves every edge at once.
+        """
+        if self._csr_pos_cache is None:
+            matrix = self.matrix()
+            n = self.num_nodes
+            rows = np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(matrix.indptr)
+            )
+            linear = rows * n + matrix.indices.astype(np.int64)
+            u = self.edges[:, 0].astype(np.int64)
+            v = self.edges[:, 1].astype(np.int64)
+            self._csr_pos_cache = np.stack(
+                [np.searchsorted(linear, u * n + v),
+                 np.searchsorted(linear, v * n + u)],
+                axis=1,
+            )
+        return self._csr_pos_cache[np.asarray(edge_ids, dtype=np.int64)].reshape(-1)
 
     def latency_matrix(self) -> sparse.csr_matrix:
         """Symmetric CSR matrix of one-way propagation delays, seconds."""

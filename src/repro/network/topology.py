@@ -28,36 +28,41 @@ def plus_grid_edges(shell: Shell) -> np.ndarray:
     rings (P < 3 or S < 3) drop the wraparound duplicates.
     """
     num_planes, per_plane = shell.num_planes, shell.sats_per_plane
-    edges: list[tuple[int, int]] = []
+    planes = np.repeat(np.arange(num_planes, dtype=np.int64), per_plane)
+    slots = np.tile(np.arange(per_plane, dtype=np.int64), num_planes)
+    here = planes * per_plane + slots
 
-    def index(plane: int, slot: int) -> int:
-        return (plane % num_planes) * per_plane + (slot % per_plane)
+    # Intra-plane successor; a 2-satellite ring has only one edge.
+    intra_to = planes * per_plane + (slots + 1) % per_plane
+    intra_ok = np.full(here.shape, per_plane > 1)
+    if per_plane == 2:
+        intra_ok &= slots != 1
 
-    def cross_plane_slot(plane: int, slot: int) -> int:
-        """Slot in the next plane whose phase is nearest to ours.
+    # Cross-plane neighbour: phase-nearest slot in the next plane.
+    # Walker phasing staggers plane p by ``f * p`` slots; the same-slot
+    # satellite in the next plane is therefore offset by ``f`` slots —
+    # and at the seam (last plane -> plane 0) by ``f * (num_planes-1)``
+    # slots, nearly half an orbit for Starlink. Linking to the
+    # phase-nearest slot keeps every ISL short and seam-free. Half-up
+    # rounding (not banker's): a constant fractional shift must map
+    # slots 1:1 or some satellites end up with degree 3 and 5.
+    next_plane = (planes + 1) % num_planes
+    phase_shift = shell.phase_offset_fraction * (planes - next_plane)
+    cross_slot = np.floor(slots + phase_shift + 0.5).astype(np.int64) % per_plane
+    cross_to = next_plane * per_plane + cross_slot
+    cross_ok = np.full(here.shape, num_planes > 1)
+    if num_planes == 2:
+        cross_ok &= planes != 1
 
-        Walker phasing staggers plane p by ``f * p`` slots; the same-slot
-        satellite in the next plane is therefore offset by ``f`` slots —
-        and at the seam (last plane -> plane 0) by ``f * (num_planes-1)``
-        slots, nearly half an orbit for Starlink. Linking to the
-        phase-nearest slot keeps every ISL short and seam-free.
-        """
-        next_plane = (plane + 1) % num_planes
-        phase_shift = shell.phase_offset_fraction * (plane - next_plane)
-        # Half-up rounding (not banker's): a constant fractional shift must
-        # map slots 1:1 or some satellites end up with degree 3 and 5.
-        return int(np.floor(slot + phase_shift + 0.5)) % per_plane
-
-    for plane in range(num_planes):
-        for slot in range(per_plane):
-            here = index(plane, slot)
-            # Intra-plane successor; a 2-satellite ring has only one edge.
-            if per_plane > 1 and not (per_plane == 2 and slot == 1):
-                edges.append((here, index(plane, slot + 1)))
-            # Cross-plane neighbour: phase-nearest slot in the next plane.
-            if num_planes > 1 and not (num_planes == 2 and plane == 1):
-                edges.append((here, index(plane + 1, cross_plane_slot(plane, slot))))
-    return np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    # Interleave (intra, cross) per satellite — the exact append order
+    # of the historical per-satellite loop, which edge ids depend on.
+    rows = np.empty((len(here), 2, 2), dtype=np.int64)
+    rows[:, 0, 0] = here
+    rows[:, 0, 1] = intra_to
+    rows[:, 1, 0] = here
+    rows[:, 1, 1] = cross_to
+    keep = np.stack([intra_ok, cross_ok], axis=1)
+    return rows.reshape(-1, 2)[keep.reshape(-1)].reshape(-1, 2)
 
 
 def constellation_isl_edges(constellation: Constellation) -> np.ndarray:

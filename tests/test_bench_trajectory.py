@@ -92,30 +92,111 @@ class TestPytestBenchmarkFold:
         }
 
 
+class TestBestOfN:
+    def test_run_suite_keeps_fastest_repeat(self, bench, monkeypatch):
+        walls = iter([2.0, 1.0, 3.0])
+
+        class FakeSummary:
+            failures = ()
+
+            @property
+            def metrics_by_experiment(self):
+                return {
+                    "fig9": {
+                        "wall_s": next(walls),
+                        "cpu_s": 0.1,
+                        "spans": {},
+                        "counters": {},
+                    }
+                }
+
+        monkeypatch.setattr(
+            bench, "run_experiments", lambda *a, **k: FakeSummary()
+        )
+        entries = bench.run_suite(["fig9"], scale=None, repeats=3)
+        assert entries["fig9"]["wall_s"] == 1.0
+
+    def test_routing_span_becomes_own_entry(self, bench, monkeypatch):
+        class FakeSummary:
+            failures = ()
+            metrics_by_experiment = {
+                "fig4": {
+                    "wall_s": 1.0,
+                    "cpu_s": 0.9,
+                    "spans": {
+                        "snapshot/routing": {
+                            "count": 2,
+                            "total_s": 0.5,
+                            "min_s": 0.2,
+                            "max_s": 0.3,
+                        }
+                    },
+                    "counters": {},
+                }
+            }
+
+        monkeypatch.setattr(
+            bench, "run_experiments", lambda *a, **k: FakeSummary()
+        )
+        entries = bench.run_suite(["fig4"], scale=None)
+        assert entries["fig4"]["routing"]["total_s"] == 0.5
+        assert entries["fig4:routing"] == {
+            "source": "span-aggregate",
+            "wall_s": 0.5,
+        }
+
+
+class TestLatestBaseline:
+    def test_scans_out_dir_and_historical_locations(self, bench, tmp_path):
+        local = tmp_path / "BENCH_20990101-000000.json"
+        local.write_text("{}")
+        # The far-future local record must beat the committed ones under
+        # benchmarks/ regardless of location order.
+        assert bench.latest_baseline(tmp_path, exclude=None) == local
+        # With no local records the committed benchmarks/ history wins.
+        assert bench.latest_baseline(tmp_path / "empty", exclude=None) is not None
+
+
 class TestEndToEnd:
     def test_first_run_writes_record_second_run_compares(
         self, bench, tmp_path, capsys
     ):
-        assert bench.main(["--smoke", "--out", str(tmp_path)]) == 0
+        assert bench.main(["--smoke", "--out", str(tmp_path), "--repeats", "1"]) == 0
         first_out = capsys.readouterr().out
         assert "no previous record" in first_out
         records = sorted(tmp_path.glob("BENCH_*.json"))
         assert len(records) == 1
         payload = json.loads(records[0].read_text())
         validate(payload, BENCH_SCHEMA)
-        assert set(payload["entries"]) == {"fig2", "fig4"}
-        for entry in payload["entries"].values():
+        assert {"fig2", "fig4", "fig4:routing"} <= set(payload["entries"])
+        for name in ("fig2", "fig4"):
+            entry = payload["entries"][name]
             assert entry["spans"], "bench entries must carry span aggregates"
+        # The smoke routing gate's counter must be on the fig4 entry.
+        assert payload["entries"]["fig4"]["counters"]["routing.batched_dijkstras"] > 0
 
         # Second run compares against the first; a generous threshold
         # keeps this robust on loaded CI machines.
-        assert bench.main(["--smoke", "--out", str(tmp_path), "--threshold", "5.0"]) == 0
+        assert (
+            bench.main(
+                [
+                    "--smoke",
+                    "--out",
+                    str(tmp_path),
+                    "--repeats",
+                    "1",
+                    "--threshold",
+                    "5.0",
+                ]
+            )
+            == 0
+        )
         second_out = capsys.readouterr().out
         assert "compared against" in second_out
         assert len(list(tmp_path.glob("BENCH_*.json"))) == 2
 
     def test_regression_exits_nonzero(self, bench, tmp_path, capsys, monkeypatch):
-        assert bench.main(["--smoke", "--out", str(tmp_path)]) == 0
+        assert bench.main(["--smoke", "--out", str(tmp_path), "--repeats", "1"]) == 0
         baseline = next(tmp_path.glob("BENCH_*.json"))
         # Doctor the baseline to claim everything used to be instant.
         payload = json.loads(baseline.read_text())
@@ -124,7 +205,8 @@ class TestEndToEnd:
         baseline.write_text(json.dumps(payload))
         capsys.readouterr()
         code = bench.main(
-            ["--smoke", "--out", str(tmp_path), "--baseline", str(baseline)]
+            ["--smoke", "--out", str(tmp_path), "--repeats", "1",
+             "--baseline", str(baseline)]
         )
         out = capsys.readouterr().out
         assert code == 1
@@ -136,7 +218,8 @@ class TestEndToEnd:
         baseline = tmp_path / "BENCH_20260101-000000.json"
         baseline.write_text(json.dumps(_record({})))
         code = bench.main(
-            ["--smoke", "--out", str(tmp_path), "--baseline", str(baseline)]
+            ["--smoke", "--out", str(tmp_path), "--repeats", "1",
+             "--baseline", str(baseline)]
         )
         assert code == 0
         assert "no entries; skipping comparison" in capsys.readouterr().out
@@ -145,7 +228,8 @@ class TestEndToEnd:
         baseline = tmp_path / "BENCH_20260101-000000.json"
         baseline.write_text("{truncated")
         code = bench.main(
-            ["--smoke", "--out", str(tmp_path), "--baseline", str(baseline)]
+            ["--smoke", "--out", str(tmp_path), "--repeats", "1",
+             "--baseline", str(baseline)]
         )
         assert code == 0
         assert "unusable" in capsys.readouterr().out
@@ -156,20 +240,22 @@ class TestEndToEnd:
         baseline = tmp_path / "BENCH_20260101-000000.json"
         baseline.write_text(json.dumps({"kind": "metrics"}))
         code = bench.main(
-            ["--smoke", "--out", str(tmp_path), "--baseline", str(baseline)]
+            ["--smoke", "--out", str(tmp_path), "--repeats", "1",
+             "--baseline", str(baseline)]
         )
         assert code == 0
         assert "unusable" in capsys.readouterr().out
 
     def test_mismatched_config_skips_comparison(self, bench, tmp_path, capsys):
-        assert bench.main(["--smoke", "--out", str(tmp_path)]) == 0
+        assert bench.main(["--smoke", "--out", str(tmp_path), "--repeats", "1"]) == 0
         baseline = next(tmp_path.glob("BENCH_*.json"))
         payload = json.loads(baseline.read_text())
         payload["config"]["scale"] = "something-else"
         baseline.write_text(json.dumps(payload))
         capsys.readouterr()
         code = bench.main(
-            ["--smoke", "--out", str(tmp_path), "--baseline", str(baseline)]
+            ["--smoke", "--out", str(tmp_path), "--repeats", "1",
+             "--baseline", str(baseline)]
         )
         assert code == 0
         assert "skipping comparison" in capsys.readouterr().out

@@ -24,6 +24,8 @@ import pytest
 
 from repro.core.comparison import compare_latency
 from repro.experiments.fig4_throughput import throughput_matrix
+from repro.experiments.fig5_isl_capacity import RATIOS, _capacity_sweep_row
+from repro.network.graph import ConnectivityMode
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden.json"
 
@@ -42,6 +44,12 @@ def computed_golden(tiny_scenario) -> dict:
     """The current code's answers for every locked quantity."""
     comparison = compare_latency(tiny_scenario)
     matrix = throughput_matrix(tiny_scenario)
+    fig5_bp = _capacity_sweep_row(
+        tiny_scenario, 0.0, ConnectivityMode.BP_ONLY, k=4, ratios=RATIOS
+    )
+    fig5_hybrid = _capacity_sweep_row(
+        tiny_scenario, 0.0, ConnectivityMode.HYBRID, k=4, ratios=RATIOS
+    )
     return {
         "scale": tiny_scenario.scale.name,
         "fig2_min_rtt_median_ms": {
@@ -50,6 +58,13 @@ def computed_golden(tiny_scenario) -> dict:
         },
         "fig4_aggregate_gbps": {
             f"{mode}_k{k}": float(gbps) for (mode, k), gbps in matrix.items()
+        },
+        "fig5_sweep_gbps": {
+            "bp": float(fig5_bp[0]),
+            **{
+                f"isl_{ratio:g}x": float(gbps)
+                for ratio, gbps in zip(RATIOS, fig5_hybrid)
+            },
         },
     }
 
@@ -100,3 +115,10 @@ def test_golden_sanity(computed_golden):
     # More disjoint paths never reduce aggregate throughput.
     assert fig4["bp_k4"] >= fig4["bp_k1"] * 0.99
     assert fig4["hybrid_k4"] >= fig4["hybrid_k1"] * 0.99
+    # Fig. 5: scaling up ISL capacity never reduces hybrid throughput,
+    # and the BP baseline (no ISLs) is positive.
+    fig5 = computed_golden["fig5_sweep_gbps"]
+    assert fig5["bp"] > 0
+    sweep = [fig5[f"isl_{ratio:g}x"] for ratio in RATIOS]
+    assert all(gbps > 0 for gbps in sweep)
+    assert all(b >= a * 0.99 for a, b in zip(sweep, sweep[1:]))

@@ -1,0 +1,394 @@
+"""Tests for the generic snapshot-map engine.
+
+:func:`repro.core.parallel.map_snapshot_rows_serial` /
+:func:`map_snapshot_rows_parallel` are the single sweep engine behind
+the RTT series, the throughput series, and the fig4/fig5/disconnected
+experiments. This module locks the engine's own contract — serial and
+parallel execution produce bit-identical rows, labelled checkpoints
+isolate and resume sweeps, faults are survived — plus the straggler
+property the ``concurrent.futures.wait`` rewrite bought: one timeout
+window covers *all* in-flight hung workers instead of stacking a window
+per future.
+
+The experiment-facing evaluators (throughput, component stats, the
+fig4/fig5 rows) are exercised through the same engine here, so a change
+to the engine that skews any experiment's numbers fails in this file
+before it reaches the golden tests.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import checkpoint_root
+from repro.core.parallel import (
+    FaultPolicy,
+    map_snapshot_rows_parallel,
+    map_snapshot_rows_serial,
+)
+from repro.experiments.disconnected import _component_row
+from repro.experiments.fig4_throughput import _matrix_snapshot_row
+from repro.experiments.fig5_isl_capacity import RATIOS, _capacity_sweep_row
+from repro.flows.throughput import throughput_series_gbps
+from repro.network.graph import ConnectivityMode
+from repro.obs import observe
+
+BP = ConnectivityMode.BP_ONLY
+HYBRID = ConnectivityMode.HYBRID
+MODES = (BP, HYBRID)
+
+TIMES = np.asarray([0.0, 60.0, 120.0, 180.0, 240.0])
+
+# Evaluators and fault hooks live at module level so fork-started
+# workers can unpickle them.
+
+
+def _poly_row(scenario, time_s, mode) -> np.ndarray:
+    """Cheap deterministic evaluator: a polynomial in (time, mode)."""
+    base = 1.0 if mode is BP else 2.0
+    return np.asarray([base * time_s, base + time_s, base])
+
+
+def _other_row(scenario, time_s, mode) -> np.ndarray:
+    return -_poly_row(scenario, time_s, mode)
+
+
+def _ragged_row(scenario, time_s, mode) -> np.ndarray:
+    """Different row widths per mode (the fig5 shape)."""
+    if mode is BP:
+        return np.asarray([time_s])
+    return np.asarray([time_s, 2.0 * time_s])
+
+
+def _wrong_width_row(scenario, time_s, mode) -> np.ndarray:
+    return np.asarray([1.0, 2.0])
+
+
+def _explode(scenario, time_s, mode) -> np.ndarray:
+    raise AssertionError("evaluator must not run on a fully resumed sweep")
+
+
+_FLAG_DIR_ENV = "REPRO_TEST_SNAPMAP_FLAG_DIR"
+
+
+def _crash_once_per_snapshot(index: int, time_s: float) -> None:
+    flag = Path(os.environ[_FLAG_DIR_ENV]) / f"snapshot_{index}"
+    if not flag.exists():
+        flag.touch()
+        raise RuntimeError("transient worker crash")
+
+
+def _hang_first_snapshot_once(index: int, time_s: float) -> None:
+    if index != 0:
+        return
+    flag = Path(os.environ[_FLAG_DIR_ENV]) / f"snapshot_{index}"
+    if not flag.exists():
+        flag.touch()
+        time.sleep(4.0)
+
+
+@pytest.fixture()
+def flag_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(_FLAG_DIR_ENV, str(tmp_path))
+    return tmp_path
+
+
+def _expected_poly(times):
+    return {
+        mode: np.stack(
+            [_poly_row(None, float(t), mode) for t in times], axis=1
+        )
+        for mode in MODES
+    }
+
+
+class TestSerialMap:
+    def test_rows_are_columns_per_mode(self, tiny_scenario):
+        rows = map_snapshot_rows_serial(
+            tiny_scenario, MODES, _poly_row, row_len=3, times_s=TIMES
+        )
+        expected = _expected_poly(TIMES)
+        for mode in MODES:
+            assert rows[mode].shape == (3, len(TIMES))
+            np.testing.assert_array_equal(rows[mode], expected[mode])
+
+    def test_per_mode_row_widths(self, tiny_scenario):
+        rows = map_snapshot_rows_serial(
+            tiny_scenario,
+            MODES,
+            _ragged_row,
+            row_len={BP: 1, HYBRID: 2},
+            times_s=TIMES,
+        )
+        assert rows[BP].shape == (1, len(TIMES))
+        assert rows[HYBRID].shape == (2, len(TIMES))
+        np.testing.assert_array_equal(rows[BP][0], TIMES)
+        np.testing.assert_array_equal(rows[HYBRID][1], 2.0 * TIMES)
+
+    def test_wrong_row_shape_rejected(self, tiny_scenario):
+        with pytest.raises(ValueError, match="expected"):
+            map_snapshot_rows_serial(
+                tiny_scenario, [BP], _wrong_width_row, row_len=3, times_s=TIMES
+            )
+
+    def test_progress_reports_each_snapshot(self, tiny_scenario):
+        calls = []
+        map_snapshot_rows_serial(
+            tiny_scenario,
+            [BP],
+            _poly_row,
+            row_len=3,
+            times_s=TIMES,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls == [(i + 1, len(TIMES)) for i in range(len(TIMES))]
+
+
+class TestParallelMatchesSerial:
+    def test_bit_identical_rows(self, tiny_scenario):
+        serial = map_snapshot_rows_serial(
+            tiny_scenario, MODES, _poly_row, row_len=3, times_s=TIMES
+        )
+        parallel = map_snapshot_rows_parallel(
+            tiny_scenario,
+            MODES,
+            _poly_row,
+            row_len=3,
+            times_s=TIMES,
+            processes=2,
+        )
+        for mode in MODES:
+            np.testing.assert_array_equal(parallel[mode], serial[mode])
+
+    def test_fault_hook_crashes_recovered(self, tiny_scenario, flag_dir):
+        rows = map_snapshot_rows_parallel(
+            tiny_scenario,
+            MODES,
+            _poly_row,
+            row_len=3,
+            times_s=TIMES,
+            processes=2,
+            fault_hook=_crash_once_per_snapshot,
+            policy=FaultPolicy(
+                max_attempts=3, backoff_base_s=0.01, serial_fallback=False
+            ),
+        )
+        expected = _expected_poly(TIMES)
+        for mode in MODES:
+            np.testing.assert_array_equal(rows[mode], expected[mode])
+        # Every snapshot crashed exactly once before its retry.
+        assert len(list(flag_dir.iterdir())) == len(TIMES)
+
+    def test_straggler_costs_one_window_not_one_per_future(
+        self, tiny_scenario, flag_dir
+    ):
+        """The stall-based timeout: hung workers share a single window.
+
+        One snapshot hangs for 4 s on its first attempt while the other
+        five finish in milliseconds. With the single ``wait`` window the
+        sweep notices the stall after ~1 s, fails the straggler, and the
+        retry (flag set, no hang) completes immediately — well under the
+        4 s the hook sleeps. An implementation that waited on the hung
+        future directly (or stacked one window per outstanding future)
+        cannot finish before the sleep does.
+        """
+        start = time.monotonic()
+        with observe() as registry:
+            rows = map_snapshot_rows_parallel(
+                tiny_scenario,
+                MODES,
+                _poly_row,
+                row_len=3,
+                times_s=np.asarray([0.0, 1.0, 2.0, 3.0, 4.0, 5.0]),
+                processes=2,
+                fault_hook=_hang_first_snapshot_once,
+                policy=FaultPolicy(
+                    max_attempts=2,
+                    snapshot_timeout_s=1.0,
+                    backoff_base_s=0.01,
+                ),
+            )
+        elapsed = time.monotonic() - start
+        counters = registry.snapshot()["counters"]
+        assert counters["parallel.timeouts"] >= 1
+        assert elapsed < 3.5, f"straggler stalled the sweep for {elapsed:.1f}s"
+        expected = _expected_poly(np.asarray([0.0, 1.0, 2.0, 3.0, 4.0, 5.0]))
+        for mode in MODES:
+            np.testing.assert_array_equal(rows[mode], expected[mode])
+
+
+class TestCheckpointResume:
+    def test_resume_serves_rows_without_reevaluating(
+        self, tiny_scenario, tmp_path
+    ):
+        with checkpoint_root(tmp_path):
+            first = map_snapshot_rows_serial(
+                tiny_scenario, MODES, _poly_row, row_len=3, times_s=TIMES
+            )
+            # Resume with an evaluator that *cannot* run: every row must
+            # come back verified from disk.
+            with observe() as registry:
+                resumed = map_snapshot_rows_serial(
+                    tiny_scenario, MODES, _explode, row_len=3, times_s=TIMES
+                )
+        counters = registry.snapshot()["counters"]
+        assert counters["checkpoint.hits"] == len(TIMES) * len(MODES)
+        assert "checkpoint.misses" not in counters
+        for mode in MODES:
+            np.testing.assert_array_equal(resumed[mode], first[mode])
+
+    def test_parallel_resume_from_serial_shards(self, tiny_scenario, tmp_path):
+        with checkpoint_root(tmp_path):
+            first = map_snapshot_rows_serial(
+                tiny_scenario, MODES, _poly_row, row_len=3, times_s=TIMES
+            )
+            resumed = map_snapshot_rows_parallel(
+                tiny_scenario,
+                MODES,
+                _explode,
+                row_len=3,
+                times_s=TIMES,
+                processes=2,
+            )
+        for mode in MODES:
+            np.testing.assert_array_equal(resumed[mode], first[mode])
+
+    def test_labels_isolate_sweeps(self, tiny_scenario, tmp_path):
+        with checkpoint_root(tmp_path):
+            rows_a = map_snapshot_rows_serial(
+                tiny_scenario,
+                [BP],
+                _poly_row,
+                row_len=3,
+                times_s=TIMES,
+                label="sweep a!",
+            )
+            rows_b = map_snapshot_rows_serial(
+                tiny_scenario,
+                [BP],
+                _other_row,
+                row_len=3,
+                times_s=TIMES,
+                label="sweep-b",
+            )
+            # Each label resumes its own shards — never the other's.
+            resumed_a = map_snapshot_rows_serial(
+                tiny_scenario,
+                [BP],
+                _explode,
+                row_len=3,
+                times_s=TIMES,
+                label="sweep a!",
+            )
+            resumed_b = map_snapshot_rows_serial(
+                tiny_scenario,
+                [BP],
+                _explode,
+                row_len=3,
+                times_s=TIMES,
+                label="sweep-b",
+            )
+        np.testing.assert_array_equal(resumed_a[BP], rows_a[BP])
+        np.testing.assert_array_equal(resumed_b[BP], rows_b[BP])
+        assert not np.array_equal(rows_a[BP], rows_b[BP])
+        names = sorted(p.name for p in tmp_path.iterdir())
+        # Labels land in the directory names, sanitized for the fs.
+        assert any(name.startswith("sweep_a_-") for name in names)
+        assert any(name.startswith("sweep-b-") for name in names)
+
+
+class TestExperimentEvaluators:
+    """The experiment rows, serial vs parallel through the same engine."""
+
+    def test_disconnected_rows_identical(self, tiny_scenario):
+        serial = map_snapshot_rows_serial(
+            tiny_scenario, MODES, _component_row, row_len=2
+        )
+        parallel = map_snapshot_rows_parallel(
+            tiny_scenario, MODES, _component_row, row_len=2, processes=2
+        )
+        for mode in MODES:
+            np.testing.assert_array_equal(parallel[mode], serial[mode])
+        # BP strands satellites; hybrid (with ISLs) essentially none.
+        assert serial[BP][0].max() >= serial[HYBRID][0].max()
+
+    def test_fig4_matrix_rows_identical(self, tiny_scenario):
+        evaluator = functools.partial(
+            _matrix_snapshot_row, ks=(1, 4), capacities=None
+        )
+        serial = map_snapshot_rows_serial(
+            tiny_scenario, MODES, evaluator, row_len=2
+        )
+        parallel = map_snapshot_rows_parallel(
+            tiny_scenario, MODES, evaluator, row_len=2, processes=2
+        )
+        for mode in MODES:
+            np.testing.assert_array_equal(parallel[mode], serial[mode])
+
+    def test_fig5_ragged_rows_identical(self, tiny_scenario):
+        evaluator = functools.partial(_capacity_sweep_row, k=2, ratios=RATIOS)
+        widths = {BP: 1, HYBRID: len(RATIOS)}
+        times = tiny_scenario.times_s[:2]
+        serial = map_snapshot_rows_serial(
+            tiny_scenario, MODES, evaluator, row_len=widths, times_s=times
+        )
+        parallel = map_snapshot_rows_parallel(
+            tiny_scenario,
+            MODES,
+            evaluator,
+            row_len=widths,
+            times_s=times,
+            processes=2,
+        )
+        for mode in MODES:
+            np.testing.assert_array_equal(parallel[mode], serial[mode])
+
+
+class TestThroughputSeries:
+    def test_parallel_matches_serial(self, tiny_scenario):
+        serial = throughput_series_gbps(tiny_scenario, HYBRID, k=1, processes=1)
+        parallel = throughput_series_gbps(
+            tiny_scenario, HYBRID, k=1, processes=2
+        )
+        np.testing.assert_array_equal(parallel, serial)
+
+    def test_crashing_workers_do_not_skew_numbers(
+        self, tiny_scenario, flag_dir
+    ):
+        baseline = throughput_series_gbps(
+            tiny_scenario, HYBRID, k=1, processes=1
+        )
+        survived = throughput_series_gbps(
+            tiny_scenario,
+            HYBRID,
+            k=1,
+            processes=2,
+            fault_hook=_crash_once_per_snapshot,
+            policy=FaultPolicy(max_attempts=3, backoff_base_s=0.01),
+        )
+        np.testing.assert_array_equal(survived, baseline)
+
+    def test_resume_is_bit_identical(self, tiny_scenario, tmp_path):
+        fresh = throughput_series_gbps(tiny_scenario, HYBRID, k=1, processes=1)
+        with checkpoint_root(tmp_path):
+            first = throughput_series_gbps(
+                tiny_scenario, HYBRID, k=1, processes=1
+            )
+            with observe() as registry:
+                resumed = throughput_series_gbps(
+                    tiny_scenario, HYBRID, k=1, processes=1
+                )
+        counters = registry.snapshot()["counters"]
+        assert counters["checkpoint.hits"] == len(tiny_scenario.times_s)
+        np.testing.assert_array_equal(first, fresh)
+        np.testing.assert_array_equal(resumed, fresh)
+        # The sweep landed under its throughput label, not the RTT one.
+        assert any(
+            p.name.startswith("tput-k1-") for p in tmp_path.iterdir()
+        )
